@@ -1,0 +1,26 @@
+//! # jsplit-apps — the paper's benchmark applications, in MJVM bytecode
+//!
+//! Paper §6.2 evaluates three pre-existing multithreaded Java programs:
+//!
+//! * **TSP** — branch-and-bound travelling salesman: threads cooperate
+//!   through a global synchronized job queue and a shared best-path bound
+//!   ("a great number of array accesses");
+//! * **Series** — JGF Fourier coefficient analysis: the first N coefficients
+//!   of f(x) = (x+1)^x on \[0,2\], block-distributed, embarrassingly parallel
+//!   ("accesses mostly regular fields");
+//! * **3D Ray Tracer** — JGF-style: renders an N×N view of a 64-sphere
+//!   scene, rows distributed cyclically ("frequently accesses static
+//!   variables" — the scene lives in static arrays here for that reason).
+//!
+//! Each builder produces an ordinary multithreaded MJVM [`Program`] that runs
+//! unmodified on the baseline VM *and* (after rewriting) on the distributed
+//! runtime — the transparency property under test. [`micro`] adds the
+//! Table 1/Table 2 micro-benchmark kernels.
+//!
+//! [`Program`]: jsplit_mjvm::class::Program
+
+pub mod common;
+pub mod micro;
+pub mod raytracer;
+pub mod series;
+pub mod tsp;

@@ -1,0 +1,344 @@
+//! 3D Ray Tracer (paper §6.2, JGF-style).
+//!
+//! "The 3D Ray Tracer renders a scene containing 64 spheres at resolution of
+//! N×N pixels. The worker threads of this application independently render
+//! different rows of the scene." Paper parameter: N = 500.
+//!
+//! The scene — a 4×4×4 grid of spheres plus the light direction — lives in
+//! **static** arrays and static scalar fields, because the paper attributes
+//! this benchmark's instrumentation profile to frequent static accesses
+//! ("Ray Tracer frequently accesses static variables"); the inner loop reads
+//! the light vector from statics for every shaded pixel.
+//!
+//! Rendering model (simplified from JGF, which adds reflections): one
+//! orthographic primary ray per pixel along +z, nearest-sphere intersection,
+//! Lambertian shading. Like JGF, validation is by an integer luminance
+//! checksum (associative, so thread- and node-count independent); rendered
+//! rows stay in thread-local storage — JGF's ray tracer does not keep a
+//! shared frame buffer either, which is what gives the benchmark its low
+//! inter-thread cooperation.
+
+use crate::common::{spawn_join_all, thread_ctor};
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RayParams {
+    /// Image is `size`×`size` pixels (paper: 500).
+    pub size: i32,
+    /// Spheres per grid axis (4 ⇒ the paper's 64 spheres).
+    pub grid: i32,
+    /// Worker threads.
+    pub threads: i32,
+}
+
+impl Default for RayParams {
+    fn default() -> Self {
+        RayParams { size: 24, grid: 4, threads: 4 }
+    }
+}
+
+impl RayParams {
+    pub fn paper_scale(threads: i32) -> RayParams {
+        RayParams { size: 500, grid: 4, threads }
+    }
+
+    pub fn spheres(&self) -> i32 {
+        self.grid * self.grid * self.grid
+    }
+}
+
+/// Rust oracle: renders the same scene and returns the checksum.
+pub fn reference_checksum(p: &RayParams) -> i64 {
+    let n = p.size;
+    let g = p.grid;
+    let ns = (g * g * g) as usize;
+    let mut sx = vec![0.0f64; ns];
+    let mut sy = vec![0.0f64; ns];
+    let mut sz = vec![0.0f64; ns];
+    let mut sr = vec![0.0f64; ns];
+    let mut s = 0;
+    for i in 0..g {
+        for j in 0..g {
+            for k in 0..g {
+                sx[s] = -1.5 + i as f64;
+                sy[s] = -1.5 + j as f64;
+                sz[s] = 5.0 + k as f64;
+                sr[s] = 0.4;
+                s += 1;
+            }
+        }
+    }
+    let inv = 1.0 / (3.0f64).sqrt();
+    let (lx, ly, lz) = (inv, inv, -inv);
+    let mut chk = 0i64;
+    for y in 0..n {
+        for x in 0..n {
+            let ox = (x as f64 / (n - 1).max(1) as f64) * 4.0 - 2.0;
+            let oy = (y as f64 / (n - 1).max(1) as f64) * 4.0 - 2.0;
+            let mut bestz = 1.0e18;
+            let mut lum = 0i64;
+            for s in 0..ns {
+                let dx = ox - sx[s];
+                let dy = oy - sy[s];
+                let dd = dx * dx + dy * dy;
+                let rr = sr[s] * sr[s];
+                if dd < rr {
+                    let hz = sz[s] - (rr - dd).sqrt();
+                    if hz < bestz {
+                        bestz = hz;
+                        let nx = dx / sr[s];
+                        let ny = dy / sr[s];
+                        let nz = (hz - sz[s]) / sr[s];
+                        let d = nx * lx + ny * ly + nz * lz;
+                        lum = if d > 0.0 { (d * 255.0) as i64 } else { 0 };
+                    }
+                }
+            }
+            chk += lum;
+        }
+    }
+    chk
+}
+
+/// Build the ray-tracer program. Output: one line — the luminance checksum.
+pub fn program(p: RayParams) -> Program {
+    assert!(p.size >= 2 && p.grid >= 1 && p.threads >= 1);
+    let mut pb = ProgramBuilder::new("rt.Main");
+
+    // The scene: static arrays + static light vector (the paper's
+    // static-heavy access profile).
+    pb.class("rt.Scene", "java.lang.Object", |cb| {
+        cb.static_field("sx", Ty::Ref)
+            .static_field("sy", Ty::Ref)
+            .static_field("sz", Ty::Ref)
+            .static_field("sr", Ty::Ref)
+            .static_field("lightX", Ty::F64)
+            .static_field("lightY", Ty::F64)
+            .static_field("lightZ", Ty::F64)
+            .static_field("numSpheres", Ty::I32);
+    });
+
+    // Shared checksum accumulator.
+    pb.class("rt.Sum", "java.lang.Object", |cb| {
+        cb.default_ctor("java.lang.Object");
+        cb.field("total", Ty::I64);
+        cb.synchronized_method("add", &[Ty::I64], None, |m| {
+            m.load(0).load(0).getfield("rt.Sum", "total").load(1).ladd().putfield("rt.Sum", "total").ret();
+        });
+        cb.synchronized_method("get", &[], Some(Ty::I64), |m| {
+            m.load(0).getfield("rt.Sum", "total").ret_val();
+        });
+    });
+
+    let n = p.size;
+    pb.class("rt.Worker", "java.lang.Thread", |cb| {
+        cb.field("row", Ty::Ref)
+            .field("sum", Ty::Ref)
+            .field("id", Ty::I32)
+            .field("stride", Ty::I32);
+        thread_ctor(
+            cb,
+            "rt.Worker",
+            &[("sum", Ty::Ref), ("id", Ty::I32), ("stride", Ty::I32)],
+        );
+
+        // shade(ox, oy) -> luminance of the nearest sphere hit (0 if none).
+        // locals: 0=this 1=ox 2=oy 3=s 4=bestz 5=lum 6=dx 7=dy 8=dd 9=rr 10=hz 11=d
+        cb.method("shade", &[Ty::F64, Ty::F64], Some(Ty::I32), |m| {
+            m.const_f64(1.0e18).store(4);
+            m.const_i32(0).store(5);
+            m.const_i32(0).store(3);
+            let top = m.new_label();
+            let end = m.new_label();
+            let next = m.new_label();
+            m.bind(top);
+            m.load(3).getstatic("rt.Scene", "numSpheres").if_icmp(Cmp::Ge, end);
+            // dx = ox - sx[s]; dy = oy - sy[s]
+            m.load(1).getstatic("rt.Scene", "sx").load(3).aload(ElemTy::F64).dsub().store(6);
+            m.load(2).getstatic("rt.Scene", "sy").load(3).aload(ElemTy::F64).dsub().store(7);
+            // dd = dx*dx + dy*dy; rr = r*r
+            m.load(6).load(6).dmul().load(7).load(7).dmul().dadd().store(8);
+            m.getstatic("rt.Scene", "sr").load(3).aload(ElemTy::F64);
+            m.getstatic("rt.Scene", "sr").load(3).aload(ElemTy::F64).dmul().store(9);
+            // if dd >= rr: next
+            m.load(8).load(9).dcmp().if_i(Cmp::Ge, next);
+            // hz = sz[s] - sqrt(rr - dd)
+            m.getstatic("rt.Scene", "sz")
+                .load(3)
+                .aload(ElemTy::F64)
+                .load(9)
+                .load(8)
+                .dsub()
+                .invokestatic("java.lang.Math", "sqrt", &[Ty::F64], Some(Ty::F64))
+                .dsub()
+                .store(10);
+            // if hz >= bestz: next
+            m.load(10).load(4).dcmp().if_i(Cmp::Ge, next);
+            m.load(10).store(4);
+            // d = (dx*lx + dy*ly + (hz - sz[s])*lz) / r   (n·l)
+            m.load(6).getstatic("rt.Scene", "lightX").dmul();
+            m.load(7).getstatic("rt.Scene", "lightY").dmul().dadd();
+            m.load(10)
+                .getstatic("rt.Scene", "sz")
+                .load(3)
+                .aload(ElemTy::F64)
+                .dsub()
+                .getstatic("rt.Scene", "lightZ")
+                .dmul()
+                .dadd();
+            m.getstatic("rt.Scene", "sr").load(3).aload(ElemTy::F64).ddiv().store(11);
+            // lum = d > 0 ? (int)(d*255) : 0
+            let dark = m.new_label();
+            let set = m.new_label();
+            m.load(11).const_f64(0.0).dcmp().if_i(Cmp::Le, dark);
+            m.load(11).const_f64(255.0).dmul().d2i().goto(set);
+            m.bind(dark).const_i32(0);
+            m.bind(set).store(5);
+            m.bind(next);
+            m.iinc(3, 1).goto(top);
+            m.bind(end).load(5).ret_val();
+        });
+
+        // run(): cyclic rows y = id, id+stride, …
+        // locals: 0=this 1=y 2=x 3=chk(J) 4=lum 5=ox(D) 6=oy(D)
+        cb.method("run", &[], None, move |m| {
+            // Thread-local row buffer (never escapes: stays a Local object).
+            m.load(0).const_i32(n).newarray(ElemTy::I32).putfield("rt.Worker", "row");
+            m.const_i64(0).store(3);
+            m.load(0).getfield("rt.Worker", "id").store(1);
+            let ytop = m.new_label();
+            let yend = m.new_label();
+            m.bind(ytop);
+            m.load(1).const_i32(n).if_icmp(Cmp::Ge, yend);
+            // oy = (y/(n-1))*4 - 2
+            m.load(1)
+                .i2d()
+                .const_f64((n - 1).max(1) as f64)
+                .ddiv()
+                .const_f64(4.0)
+                .dmul()
+                .const_f64(2.0)
+                .dsub()
+                .store(6);
+            let xtop = m.new_label();
+            let xend = m.new_label();
+            m.const_i32(0).store(2);
+            m.bind(xtop);
+            m.load(2).const_i32(n).if_icmp(Cmp::Ge, xend);
+            m.load(2)
+                .i2d()
+                .const_f64((n - 1).max(1) as f64)
+                .ddiv()
+                .const_f64(4.0)
+                .dmul()
+                .const_f64(2.0)
+                .dsub()
+                .store(5);
+            m.load(0).load(5).load(6).invokevirtual("shade", &[Ty::F64, Ty::F64], Some(Ty::I32)).store(4);
+            // row[x] = lum; chk += lum
+            m.load(0)
+                .getfield("rt.Worker", "row")
+                .load(2)
+                .load(4)
+                .astore(ElemTy::I32);
+            m.load(3).load(4).i2l().ladd().store(3);
+            m.iinc(2, 1).goto(xtop);
+            m.bind(xend);
+            // next cyclic row
+            m.load(1).load(0).getfield("rt.Worker", "stride").iadd().store(1);
+            m.goto(ytop);
+            m.bind(yend);
+            m.load(0).getfield("rt.Worker", "sum").load(3).invokevirtual("add", &[Ty::I64], None);
+            m.ret();
+        });
+    });
+
+    let RayParams { size: _, grid, threads } = p;
+    let ns = p.spheres();
+    pb.class("rt.Main", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            // locals: 0=pixels 1=sum 2=workers 3=idx 4=i 5=j 6=k 7=s
+            // scene arrays
+            m.const_i32(ns).newarray(ElemTy::F64).putstatic("rt.Scene", "sx");
+            m.const_i32(ns).newarray(ElemTy::F64).putstatic("rt.Scene", "sy");
+            m.const_i32(ns).newarray(ElemTy::F64).putstatic("rt.Scene", "sz");
+            m.const_i32(ns).newarray(ElemTy::F64).putstatic("rt.Scene", "sr");
+            m.const_i32(ns).putstatic("rt.Scene", "numSpheres");
+            let inv = 1.0 / (3.0f64).sqrt();
+            m.const_f64(inv).putstatic("rt.Scene", "lightX");
+            m.const_f64(inv).putstatic("rt.Scene", "lightY");
+            m.const_f64(-inv).putstatic("rt.Scene", "lightZ");
+            // grid of spheres
+            m.const_i32(0).store(7);
+            let (gi, gj, gk) = (m.new_label(), m.new_label(), m.new_label());
+            let (ei, ej, ek) = (m.new_label(), m.new_label(), m.new_label());
+            m.const_i32(0).store(4);
+            m.bind(gi);
+            m.load(4).const_i32(grid).if_icmp(Cmp::Ge, ei);
+            m.const_i32(0).store(5);
+            m.bind(gj);
+            m.load(5).const_i32(grid).if_icmp(Cmp::Ge, ej);
+            m.const_i32(0).store(6);
+            m.bind(gk);
+            m.load(6).const_i32(grid).if_icmp(Cmp::Ge, ek);
+            m.getstatic("rt.Scene", "sx").load(7).load(4).i2d().const_f64(-1.5).dadd().astore(ElemTy::F64);
+            m.getstatic("rt.Scene", "sy").load(7).load(5).i2d().const_f64(-1.5).dadd().astore(ElemTy::F64);
+            m.getstatic("rt.Scene", "sz").load(7).load(6).i2d().const_f64(5.0).dadd().astore(ElemTy::F64);
+            m.getstatic("rt.Scene", "sr").load(7).const_f64(0.4).astore(ElemTy::F64);
+            m.iinc(7, 1);
+            m.iinc(6, 1).goto(gk);
+            m.bind(ek);
+            m.iinc(5, 1).goto(gj);
+            m.bind(ej);
+            m.iinc(4, 1).goto(gi);
+            m.bind(ei);
+
+            m.construct("rt.Sum", &[], |_| {}).store(1);
+            m.const_i32(threads).newarray(ElemTy::Ref).store(2);
+            spawn_join_all(m, threads, 2, 3, move |m| {
+                m.construct(
+                    "rt.Worker",
+                    &[Ty::Ref, Ty::I32, Ty::I32],
+                    move |m| {
+                        m.load(1).load(3).const_i32(threads);
+                    },
+                );
+            });
+            m.load(1).invokevirtual("get", &[], Some(Ty::I64)).println_i64();
+            m.ret();
+        });
+    });
+
+    pb.build_with_stdlib()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::localvm::run_program;
+
+    #[test]
+    fn renders_the_reference_checksum() {
+        let p = RayParams { size: 12, grid: 2, threads: 2 };
+        let expected = reference_checksum(&p);
+        assert!(expected > 0, "scene must light up, got {expected}");
+        let r = run_program(&program(p));
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert_eq!(r.output, vec![expected.to_string()]);
+    }
+
+    #[test]
+    fn checksum_independent_of_thread_count() {
+        let a = run_program(&program(RayParams { size: 10, grid: 2, threads: 1 }));
+        let b = run_program(&program(RayParams { size: 10, grid: 2, threads: 3 }));
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn paper_scene_has_64_spheres() {
+        assert_eq!(RayParams::paper_scale(2).spheres(), 64);
+    }
+}

@@ -1,0 +1,295 @@
+//! JGF Series: Fourier coefficient analysis (paper §6.2).
+//!
+//! "The Series benchmark computes the first N Fourier coefficients of the
+//! function f(x) = (x+1)^x. The calculation is distributed between threads
+//! in a block manner." Paper parameters: N = 100 000 (and the JGF kernel
+//! integrates with trapezoids); the default here is scaled down so the
+//! discrete-event simulation stays laptop-sized — the *shape* (block
+//! distribution, field-heavy access pattern, near-zero inter-thread
+//! cooperation) is preserved.
+//!
+//! Per coefficient n the worker computes
+//!   a_n = ∫₀² f(x)·cos(π n x) dx,  b_n = ∫₀² f(x)·sin(π n x) dx
+//! by the trapezoid rule with `intervals` steps and stores both into a
+//! shared result array (the only shared writes).
+
+use crate::common::{spawn_join_all, thread_ctor};
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesParams {
+    /// Number of Fourier coefficient pairs (paper: 100 000).
+    pub n: i32,
+    /// Trapezoid intervals per integral (JGF: 1000).
+    pub intervals: i32,
+    /// Worker threads (paper: 2 per node).
+    pub threads: i32,
+}
+
+impl Default for SeriesParams {
+    fn default() -> Self {
+        SeriesParams { n: 64, intervals: 40, threads: 4 }
+    }
+}
+
+impl SeriesParams {
+    /// The paper's full-scale configuration.
+    pub fn paper_scale(threads: i32) -> SeriesParams {
+        SeriesParams { n: 100_000, intervals: 1000, threads }
+    }
+}
+
+/// Build the Series program. Output: one line — the integer checksum
+/// `round(1e3 · Σ|coeff|)`, identical for any thread/node count.
+pub fn program(p: SeriesParams) -> Program {
+    assert!(p.n >= 1 && p.intervals >= 2 && p.threads >= 1);
+    let mut pb = ProgramBuilder::new("series.Main");
+
+    // The integrand and the per-coefficient integration. JGF-style
+    // object-oriented Java: the integrator keeps its state in instance
+    // fields, which is what makes Series the paper's *field-heavy* workload
+    // ("Series accesses mostly regular fields") — and what exposes the
+    // instrumented-access slowdown on the IBM profile. The integrator never
+    // escapes its thread, so it stays a Local object: all those checked
+    // accesses take the fast path and generate no DSM traffic.
+    pb.class("series.Integrator", "java.lang.Object", |cb| {
+        cb.field("sum", Ty::F64)
+            .field("x", Ty::F64)
+            .field("fx", Ty::F64)
+            .field("dx", Ty::F64)
+            .field("n", Ty::I32)
+            .field("intervals", Ty::I32)
+            .field("useSin", Ty::I32);
+        cb.method("<init>", &[Ty::I32, Ty::I32, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Object", "<init>", &[], None);
+            m.load(0).load(1).putfield("series.Integrator", "n");
+            m.load(0).load(2).putfield("series.Integrator", "intervals");
+            m.load(0).load(3).putfield("series.Integrator", "useSin");
+            // dx = 2 / intervals
+            m.load(0).const_f64(2.0).load(2).i2d().ddiv().putfield("series.Integrator", "dx");
+            m.ret();
+        });
+        // f(x) = (x+1)^x
+        cb.static_method("f", &[Ty::F64], Some(Ty::F64), |m| {
+            m.load(0)
+                .const_f64(1.0)
+                .dadd()
+                .load(0)
+                .invokestatic("java.lang.Math", "pow", &[Ty::F64, Ty::F64], Some(Ty::F64))
+                .ret_val();
+        });
+        // integrate(): trapezoid rule over [0,2], state in fields.
+        // locals: 0=this 1=i
+        cb.method("integrate", &[], Some(Ty::F64), |m| {
+            m.load(0).const_f64(0.0).putfield("series.Integrator", "sum");
+            m.const_i32(0).store(1);
+            let top = m.new_label();
+            let end = m.new_label();
+            let use_sin = m.new_label();
+            let stored = m.new_label();
+            m.bind(top);
+            m.load(1).load(0).getfield("series.Integrator", "intervals").if_icmp(Cmp::Gt, end);
+            // x = i*dx
+            m.load(0)
+                .load(1)
+                .i2d()
+                .load(0)
+                .getfield("series.Integrator", "dx")
+                .dmul()
+                .putfield("series.Integrator", "x");
+            // fx = f(x) * trig(pi*n*x)
+            m.load(0);
+            m.load(0)
+                .getfield("series.Integrator", "x")
+                .invokestatic("series.Integrator", "f", &[Ty::F64], Some(Ty::F64));
+            m.const_f64(std::f64::consts::PI)
+                .load(0)
+                .getfield("series.Integrator", "n")
+                .i2d()
+                .dmul()
+                .load(0)
+                .getfield("series.Integrator", "x")
+                .dmul();
+            m.load(0).getfield("series.Integrator", "useSin").if_i(Cmp::Ne, use_sin);
+            m.invokestatic("java.lang.Math", "cos", &[Ty::F64], Some(Ty::F64)).goto(stored);
+            m.bind(use_sin);
+            m.invokestatic("java.lang.Math", "sin", &[Ty::F64], Some(Ty::F64));
+            m.bind(stored);
+            m.dmul().putfield("series.Integrator", "fx");
+            // endpoints weigh 1/2
+            let full = m.new_label();
+            let acc = m.new_label();
+            m.load(1).if_i(Cmp::Eq, full);
+            m.load(1).load(0).getfield("series.Integrator", "intervals").if_icmp(Cmp::Eq, full);
+            m.goto(acc);
+            m.bind(full);
+            m.load(0)
+                .load(0)
+                .getfield("series.Integrator", "fx")
+                .const_f64(0.5)
+                .dmul()
+                .putfield("series.Integrator", "fx");
+            m.bind(acc);
+            m.load(0)
+                .load(0)
+                .getfield("series.Integrator", "sum")
+                .load(0)
+                .getfield("series.Integrator", "fx")
+                .dadd()
+                .putfield("series.Integrator", "sum");
+            m.iinc(1, 1).goto(top);
+            m.bind(end);
+            m.load(0)
+                .getfield("series.Integrator", "sum")
+                .load(0)
+                .getfield("series.Integrator", "dx")
+                .dmul()
+                .ret_val();
+        });
+    });
+
+    // Worker: computes coefficients [first, last) into the shared array.
+    pb.class("series.Worker", "java.lang.Thread", |cb| {
+        cb.field("out", Ty::Ref)
+            .field("first", Ty::I32)
+            .field("last", Ty::I32)
+            .field("intervals", Ty::I32);
+        thread_ctor(
+            cb,
+            "series.Worker",
+            &[("out", Ty::Ref), ("first", Ty::I32), ("last", Ty::I32), ("intervals", Ty::I32)],
+        );
+        cb.method("run", &[], None, |m| {
+            // locals: 1=i
+            let top = m.new_label();
+            let end = m.new_label();
+            m.load(0).getfield("series.Worker", "first").store(1);
+            m.bind(top);
+            m.load(1).load(0).getfield("series.Worker", "last").if_icmp(Cmp::Ge, end);
+            // out[2i]   = new Integrator(i, intervals, cos).integrate()
+            m.load(0).getfield("series.Worker", "out");
+            m.load(1).const_i32(2).imul();
+            m.construct("series.Integrator", &[Ty::I32, Ty::I32, Ty::I32], |m| {
+                m.load(1).load(0).getfield("series.Worker", "intervals").const_i32(0);
+            })
+            .invokevirtual("integrate", &[], Some(Ty::F64));
+            m.astore(ElemTy::F64);
+            // out[2i+1] = new Integrator(i, intervals, sin).integrate()
+            m.load(0).getfield("series.Worker", "out");
+            m.load(1).const_i32(2).imul().const_i32(1).iadd();
+            m.construct("series.Integrator", &[Ty::I32, Ty::I32, Ty::I32], |m| {
+                m.load(1).load(0).getfield("series.Worker", "intervals").const_i32(1);
+            })
+            .invokevirtual("integrate", &[], Some(Ty::F64));
+            m.astore(ElemTy::F64);
+            m.iinc(1, 1).goto(top);
+            m.bind(end).ret();
+        });
+    });
+
+    let (n, intervals, threads) = (p.n, p.intervals, p.threads);
+    pb.class("series.Main", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            // locals: 0=out, 1=workers, 2=idx, 3=chk, 4=i
+            m.const_i32(2 * n).newarray(ElemTy::F64).store(0);
+            m.const_i32(threads).newarray(ElemTy::Ref).store(1);
+            let block = n / threads + 1;
+            spawn_join_all(m, threads, 1, 2, move |m| {
+                // first = idx*block, last = min(n, first+block)
+                m.construct(
+                    "series.Worker",
+                    &[Ty::Ref, Ty::I32, Ty::I32, Ty::I32],
+                    move |m| {
+                        m.load(0);
+                        m.load(2).const_i32(block).imul(); // first
+                        m.load(2).const_i32(block).imul().const_i32(block).iadd().const_i32(n).invokestatic(
+                            "java.lang.Math",
+                            "minI",
+                            &[Ty::I32, Ty::I32],
+                            Some(Ty::I32),
+                        ); // last
+                        m.const_i32(p.intervals);
+                    },
+                );
+            });
+            let _ = intervals;
+            // checksum: round(1e3 * sum(|out[k]|))
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_f64(0.0).store(3);
+            m.const_i32(0).store(4);
+            m.bind(top);
+            m.load(4).const_i32(2 * n).if_icmp(Cmp::Ge, end);
+            m.load(3)
+                .load(0)
+                .load(4)
+                .aload(ElemTy::F64)
+                .invokestatic("java.lang.Math", "abs", &[Ty::F64], Some(Ty::F64))
+                .dadd()
+                .store(3);
+            m.iinc(4, 1).goto(top);
+            m.bind(end);
+            m.load(3).const_f64(1000.0).dmul().d2l().println_i64();
+            m.ret();
+        });
+    });
+
+    pb.build_with_stdlib()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::localvm::run_program;
+
+    #[test]
+    fn small_series_runs_clean() {
+        let r = run_program(&program(SeriesParams { n: 8, intervals: 16, threads: 2 }));
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        assert!(!r.deadlocked);
+        assert_eq!(r.output.len(), 1);
+        let chk: i64 = r.output[0].parse().unwrap();
+        assert!(chk > 0, "checksum {chk}");
+    }
+
+    #[test]
+    fn checksum_independent_of_thread_count() {
+        let one = run_program(&program(SeriesParams { n: 10, intervals: 12, threads: 1 }));
+        let four = run_program(&program(SeriesParams { n: 10, intervals: 12, threads: 4 }));
+        assert_eq!(one.output, four.output);
+    }
+
+    #[test]
+    fn first_coefficient_matches_direct_integration() {
+        // a_0 = ∫₀² (x+1)^x dx ≈ 3.9224 (coarse trapezoid tolerance).
+        let r = run_program(&program(SeriesParams { n: 1, intervals: 400, threads: 1 }));
+        let chk: i64 = r.output[0].parse().unwrap();
+        // checksum = 1000*(|a_1...|) with n=1 → just a(n=1 pair) — compute
+        // the expected value in Rust with the same rule.
+        let trap = |n: f64, use_sin: bool| {
+            let intervals = 400usize;
+            let dx = 2.0 / intervals as f64;
+            let mut sum = 0.0;
+            for i in 0..=intervals {
+                let x = i as f64 * dx;
+                let f = (x + 1.0f64).powf(x);
+                let trig = if use_sin {
+                    (std::f64::consts::PI * n * x).sin()
+                } else {
+                    (std::f64::consts::PI * n * x).cos()
+                };
+                let mut v = f * trig;
+                if i == 0 || i == intervals {
+                    v *= 0.5;
+                }
+                sum += v;
+            }
+            sum * dx
+        };
+        let expected = ((trap(0.0, false).abs() + trap(0.0, true).abs()) * 1000.0) as i64;
+        assert_eq!(chk, expected);
+    }
+}

@@ -1,0 +1,381 @@
+//! Travelling Salesman (paper §6.2).
+//!
+//! "The TSP application searches for the shortest path passing through all N
+//! vertices of a given graph. The threads eliminate some permutations using
+//! the length of the minimal path known so far. A thread discovering a new
+//! minimal path propagates its length to the rest of the threads. During the
+//! execution the threads also cooperate to ensure that no permutation is
+//! processed by more than one thread by managing a global queue of jobs."
+//!
+//! Paper parameter: N = 18; the default here is scaled down (the search is
+//! factorial). The global job queue is the bootstrap `java.util.Vector`
+//! (synchronized methods — the §4.4 story), the best bound is a shared
+//! object updated under its monitor, and workers cache the bound locally
+//! between updates (racy pruning reads would be a data race; caching per
+//! job keeps the program DRF while preserving the sharing pattern). The
+//! result — the optimal tour length — is schedule-independent.
+
+use crate::common::{spawn_join_all, thread_ctor};
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TspParams {
+    /// Cities (paper: 18).
+    pub n: i32,
+    /// Random-graph seed (symmetric weights 1..=99).
+    pub seed: i64,
+    /// Job prefix depth: 2 ⇒ n−1 jobs, 3 ⇒ (n−1)(n−2) jobs.
+    pub depth: i32,
+    /// Worker threads.
+    pub threads: i32,
+}
+
+impl Default for TspParams {
+    fn default() -> Self {
+        TspParams { n: 9, seed: 42, depth: 2, threads: 4 }
+    }
+}
+
+impl TspParams {
+    pub fn paper_scale(threads: i32) -> TspParams {
+        TspParams { n: 18, seed: 42, depth: 3, threads }
+    }
+}
+
+/// Reference distance matrix (same LCG as the bytecode `java.util.Random`);
+/// used by tests and by the Rust oracle.
+pub fn reference_matrix(p: &TspParams) -> Vec<Vec<i32>> {
+    let n = p.n as usize;
+    let mut seed = p.seed;
+    let mut next_int = |bound: i32| -> i32 {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((seed / 8589934592) as i32).wrapping_abs()) % bound
+    };
+    let mut d = vec![vec![0i32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = next_int(99) + 1;
+            d[i][j] = v;
+            d[j][i] = v;
+        }
+    }
+    d
+}
+
+/// Exact solver (Held–Karp) used as the oracle in tests.
+pub fn solve_reference(p: &TspParams) -> i32 {
+    let d = reference_matrix(p);
+    let n = p.n as usize;
+    let full = 1usize << n;
+    let mut dp = vec![vec![i32::MAX / 2; n]; full];
+    dp[1][0] = 0;
+    for mask in 1..full {
+        if mask & 1 == 0 {
+            continue;
+        }
+        for last in 0..n {
+            if mask & (1 << last) == 0 || dp[mask][last] >= i32::MAX / 2 {
+                continue;
+            }
+            for next in 1..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let nm = mask | (1 << next);
+                let nv = dp[mask][last] + d[last][next];
+                if nv < dp[nm][next] {
+                    dp[nm][next] = nv;
+                }
+            }
+        }
+    }
+    (0..n).map(|last| dp[full - 1][last] + d[last][0]).min().unwrap()
+}
+
+/// Build the TSP program. Output: one line — the optimal tour length.
+pub fn program(p: TspParams) -> Program {
+    assert!(p.n >= 3 && (p.depth == 2 || p.depth == 3) && p.threads >= 1);
+    let mut pb = ProgramBuilder::new("tsp.Main");
+
+    // Shared best bound: monitor-protected minimum.
+    pb.class("tsp.Best", "java.lang.Object", |cb| {
+        cb.field("len", Ty::I32);
+        cb.method("<init>", &[], None, |m| {
+            m.load(0).invokespecial("java.lang.Object", "<init>", &[], None);
+            m.load(0).const_i32(100_000_000).putfield("tsp.Best", "len").ret();
+        });
+        cb.synchronized_method("update", &[Ty::I32], Some(Ty::I32), |m| {
+            let keep = m.new_label();
+            m.load(1).load(0).getfield("tsp.Best", "len").if_icmp(Cmp::Ge, keep);
+            m.load(0).load(1).putfield("tsp.Best", "len");
+            m.bind(keep).load(0).getfield("tsp.Best", "len").ret_val();
+        });
+        cb.synchronized_method("get", &[], Some(Ty::I32), |m| {
+            m.load(0).getfield("tsp.Best", "len").ret_val();
+        });
+    });
+
+    pb.class("tsp.Worker", "java.lang.Thread", |cb| {
+        cb.field("dist", Ty::Ref)
+            .field("best", Ty::Ref)
+            .field("queue", Ty::Ref)
+            .field("n", Ty::I32)
+            .field("myBest", Ty::I32);
+        thread_ctor(
+            cb,
+            "tsp.Worker",
+            &[("dist", Ty::Ref), ("best", Ty::Ref), ("queue", Ty::Ref), ("n", Ty::I32)],
+        );
+
+        // Recursive depth-first search with pruning against the cached bound.
+        // locals: 0=this 1=cur 2=depth 3=len 4=visited 5=next 6=total
+        cb.method("search", &[Ty::I32, Ty::I32, Ty::I32, Ty::Ref], None, |m| {
+            let ret = m.new_label();
+            let recurse = m.new_label();
+            // prune: len >= myBest?
+            m.load(3).load(0).getfield("tsp.Worker", "myBest").if_icmp(Cmp::Ge, ret);
+            // complete tour?
+            m.load(2).load(0).getfield("tsp.Worker", "n").if_icmp(Cmp::Ne, recurse);
+            // total = len + dist[cur*n + 0]
+            m.load(3)
+                .load(0)
+                .getfield("tsp.Worker", "dist")
+                .load(1)
+                .load(0)
+                .getfield("tsp.Worker", "n")
+                .imul()
+                .aload(ElemTy::I32)
+                .iadd()
+                .store(6);
+            // improvement? propagate through the shared bound.
+            m.load(6).load(0).getfield("tsp.Worker", "myBest").if_icmp(Cmp::Ge, ret);
+            m.load(0)
+                .load(0)
+                .getfield("tsp.Worker", "best")
+                .load(6)
+                .invokevirtual("update", &[Ty::I32], Some(Ty::I32))
+                .putfield("tsp.Worker", "myBest");
+            m.goto(ret);
+            // recurse over unvisited cities
+            m.bind(recurse);
+            m.const_i32(1).store(5);
+            let loop_top = m.new_label();
+            let skip = m.new_label();
+            m.bind(loop_top);
+            m.load(5).load(0).getfield("tsp.Worker", "n").if_icmp(Cmp::Ge, ret);
+            m.load(4).load(5).aload(ElemTy::I32).if_i(Cmp::Ne, skip);
+            m.load(4).load(5).const_i32(1).astore(ElemTy::I32);
+            // search(next, depth+1, len + dist[cur*n+next], visited)
+            m.load(0).load(5).load(2).const_i32(1).iadd();
+            m.load(3)
+                .load(0)
+                .getfield("tsp.Worker", "dist")
+                .load(1)
+                .load(0)
+                .getfield("tsp.Worker", "n")
+                .imul()
+                .load(5)
+                .iadd()
+                .aload(ElemTy::I32)
+                .iadd();
+            m.load(4);
+            m.invokevirtual("search", &[Ty::I32, Ty::I32, Ty::I32, Ty::Ref], None);
+            m.load(4).load(5).const_i32(0).astore(ElemTy::I32);
+            m.bind(skip);
+            m.iinc(5, 1).goto(loop_top);
+            m.bind(ret).ret();
+        });
+
+        // Job loop: pop prefixes off the global queue until it drains.
+        // locals: 0=this 1=job 2=visited 3=len 4=k 5=depth
+        cb.method("run", &[], None, |m| {
+            let top = m.new_label();
+            let done = m.new_label();
+            m.bind(top);
+            m.load(0)
+                .getfield("tsp.Worker", "queue")
+                .invokevirtual("removeLast", &[], Some(Ty::Ref))
+                .store(1);
+            m.load(1).if_null(done);
+            m.load(0).getfield("tsp.Worker", "n").newarray(ElemTy::I32).store(2);
+            m.load(1).arraylen().store(5);
+            m.const_i32(0).store(3).const_i32(0).store(4);
+            // mark prefix & accumulate its length
+            let mark_top = m.new_label();
+            let mark_end = m.new_label();
+            let next_k = m.new_label();
+            m.bind(mark_top);
+            m.load(4).load(5).if_icmp(Cmp::Ge, mark_end);
+            m.load(2).load(1).load(4).aload(ElemTy::I32).const_i32(1).astore(ElemTy::I32);
+            m.load(4).if_i(Cmp::Eq, next_k);
+            // len += dist[job[k-1]*n + job[k]]
+            m.load(3)
+                .load(0)
+                .getfield("tsp.Worker", "dist")
+                .load(1)
+                .load(4)
+                .const_i32(1)
+                .isub()
+                .aload(ElemTy::I32)
+                .load(0)
+                .getfield("tsp.Worker", "n")
+                .imul()
+                .load(1)
+                .load(4)
+                .aload(ElemTy::I32)
+                .iadd()
+                .aload(ElemTy::I32)
+                .iadd()
+                .store(3);
+            m.bind(next_k);
+            m.iinc(4, 1).goto(mark_top);
+            m.bind(mark_end);
+            // refresh the cached bound once per job
+            m.load(0)
+                .load(0)
+                .getfield("tsp.Worker", "best")
+                .invokevirtual("get", &[], Some(Ty::I32))
+                .putfield("tsp.Worker", "myBest");
+            // search(job[depth-1], depth, len, visited)
+            m.load(0);
+            m.load(1).load(5).const_i32(1).isub().aload(ElemTy::I32);
+            m.load(5).load(3).load(2);
+            m.invokevirtual("search", &[Ty::I32, Ty::I32, Ty::I32, Ty::Ref], None);
+            m.goto(top);
+            m.bind(done).ret();
+        });
+    });
+
+    let TspParams { n, seed, depth, threads } = p;
+    pb.class("tsp.Main", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            // locals: 0=dist 1=rand 2=best 3=queue 4=workers 5=i 6=j 7=v 8=job
+            m.const_i32(n * n).newarray(ElemTy::I32).store(0);
+            m.construct("java.util.Random", &[Ty::I64], |m| {
+                m.const_i64(seed);
+            })
+            .store(1);
+            // symmetric random weights 1..=99
+            let gi = m.new_label();
+            let gdone = m.new_label();
+            m.const_i32(0).store(5);
+            m.bind(gi);
+            m.load(5).const_i32(n).if_icmp(Cmp::Ge, gdone);
+            let gj = m.new_label();
+            let ginext = m.new_label();
+            m.load(5).const_i32(1).iadd().store(6);
+            m.bind(gj);
+            m.load(6).const_i32(n).if_icmp(Cmp::Ge, ginext);
+            m.load(1)
+                .const_i32(99)
+                .invokevirtual("nextInt", &[Ty::I32], Some(Ty::I32))
+                .const_i32(1)
+                .iadd()
+                .store(7);
+            m.load(0).load(5).const_i32(n).imul().load(6).iadd().load(7).astore(ElemTy::I32);
+            m.load(0).load(6).const_i32(n).imul().load(5).iadd().load(7).astore(ElemTy::I32);
+            m.iinc(6, 1).goto(gj);
+            m.bind(ginext);
+            m.iinc(5, 1).goto(gi);
+            m.bind(gdone);
+
+            m.construct("tsp.Best", &[], |_| {}).store(2);
+            m.construct("java.util.Vector", &[Ty::I32], |m| {
+                m.const_i32(4);
+            })
+            .store(3);
+
+            // enqueue jobs: prefixes [0,a] (depth 2) or [0,a,b] (depth 3)
+            let ja = m.new_label();
+            let ja_end = m.new_label();
+            m.const_i32(1).store(5);
+            m.bind(ja);
+            m.load(5).const_i32(n).if_icmp(Cmp::Ge, ja_end);
+            if depth == 2 {
+                m.const_i32(2).newarray(ElemTy::I32).store(8);
+                m.load(8).const_i32(0).const_i32(0).astore(ElemTy::I32);
+                m.load(8).const_i32(1).load(5).astore(ElemTy::I32);
+                m.load(3).load(8).invokevirtual("addElement", &[Ty::Ref], None);
+            } else {
+                let jb = m.new_label();
+                let jb_end = m.new_label();
+                let jb_skip = m.new_label();
+                m.const_i32(1).store(6);
+                m.bind(jb);
+                m.load(6).const_i32(n).if_icmp(Cmp::Ge, jb_end);
+                m.load(6).load(5).if_icmp(Cmp::Eq, jb_skip);
+                m.const_i32(3).newarray(ElemTy::I32).store(8);
+                m.load(8).const_i32(0).const_i32(0).astore(ElemTy::I32);
+                m.load(8).const_i32(1).load(5).astore(ElemTy::I32);
+                m.load(8).const_i32(2).load(6).astore(ElemTy::I32);
+                m.load(3).load(8).invokevirtual("addElement", &[Ty::Ref], None);
+                m.bind(jb_skip);
+                m.iinc(6, 1).goto(jb);
+                m.bind(jb_end);
+            }
+            m.iinc(5, 1).goto(ja);
+            m.bind(ja_end);
+
+            // spawn & join workers
+            m.const_i32(threads).newarray(ElemTy::Ref).store(4);
+            spawn_join_all(m, threads, 4, 5, |m| {
+                m.construct(
+                    "tsp.Worker",
+                    &[Ty::Ref, Ty::Ref, Ty::Ref, Ty::I32],
+                    |m| {
+                        m.load(0).load(2).load(3).const_i32(n);
+                    },
+                );
+            });
+            m.load(2).invokevirtual("get", &[], Some(Ty::I32)).println_i32();
+            m.ret();
+        });
+    });
+
+    pb.build_with_stdlib()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::localvm::run_program;
+
+    #[test]
+    fn tsp_finds_the_optimum() {
+        for (n, depth, threads) in [(6, 2, 1), (7, 2, 3), (7, 3, 2)] {
+            let p = TspParams { n, seed: 42, depth, threads };
+            let expected = solve_reference(&p);
+            let r = run_program(&program(p));
+            assert!(r.errors.is_empty(), "{:?}", r.errors);
+            assert!(!r.deadlocked);
+            assert_eq!(r.output, vec![expected.to_string()], "n={n} depth={depth} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn result_is_thread_count_independent() {
+        let p1 = TspParams { n: 8, seed: 7, depth: 2, threads: 1 };
+        let p4 = TspParams { threads: 4, ..p1 };
+        assert_eq!(run_program(&program(p1)).output, run_program(&program(p4)).output);
+    }
+
+    #[test]
+    fn reference_matrix_is_symmetric_and_bounded() {
+        let d = reference_matrix(&TspParams::default());
+        let n = d.len();
+        for i in 0..n {
+            assert_eq!(d[i][i], 0);
+            for j in 0..n {
+                assert_eq!(d[i][j], d[j][i]);
+                if i != j {
+                    assert!((1..=99).contains(&d[i][j]), "d[{i}][{j}]={}", d[i][j]);
+                }
+            }
+        }
+    }
+}

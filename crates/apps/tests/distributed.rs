@@ -1,0 +1,84 @@
+//! The paper's benchmarks, executed on the distributed runtime: outputs must
+//! match the single-node baseline for every cluster size (transparency), and
+//! adding nodes must reduce virtual execution time on these low-cooperation
+//! workloads (paper §6.2: "speedups close to proportional to the number of
+//! nodes").
+
+use jsplit_apps::{raytracer, series, tsp};
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::ClusterConfig;
+
+#[test]
+fn series_distributes_correctly_and_scales() {
+    let p = series::program(series::SeriesParams { n: 96, intervals: 2500, threads: 8 });
+    let base = run_cluster(ClusterConfig::baseline(JvmProfile::IbmSim, 2), &p).unwrap();
+    base.expect_clean();
+    let r1 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 1), &p).unwrap();
+    let r4 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 4), &p).unwrap();
+    r1.expect_clean();
+    r4.expect_clean();
+    assert_eq!(r1.output, base.output);
+    assert_eq!(r4.output, base.output);
+    assert!(
+        r4.exec_time_ps < r1.exec_time_ps,
+        "4 nodes {} vs 1 node {}",
+        r4.exec_time_ps,
+        r1.exec_time_ps
+    );
+}
+
+#[test]
+fn tsp_distributes_correctly() {
+    let params = tsp::TspParams { n: 8, seed: 42, depth: 2, threads: 4 };
+    let expected = tsp::solve_reference(&params).to_string();
+    let p = tsp::program(params);
+    for nodes in [1usize, 2] {
+        let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, nodes), &p).unwrap();
+        r.expect_clean();
+        assert_eq!(r.output, vec![expected.clone()], "{nodes} nodes");
+    }
+}
+
+#[test]
+fn raytracer_distributes_correctly_and_scales() {
+    let params = raytracer::RayParams { size: 96, grid: 4, threads: 8 };
+    let expected = raytracer::reference_checksum(&params).to_string();
+    let p = raytracer::program(params);
+    let r1 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 1), &p).unwrap();
+    let r4 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 4), &p).unwrap();
+    r1.expect_clean();
+    r4.expect_clean();
+    assert_eq!(r1.output, vec![expected.clone()]);
+    assert_eq!(r4.output, vec![expected]);
+    assert!(r4.exec_time_ps < r1.exec_time_ps);
+}
+
+#[test]
+fn tsp_on_heterogeneous_cluster() {
+    use jsplit_runtime::NodeSpec;
+    let params = tsp::TspParams { n: 7, seed: 11, depth: 2, threads: 4 };
+    let expected = tsp::solve_reference(&params).to_string();
+    let p = tsp::program(params);
+    let cfg = ClusterConfig::heterogeneous(vec![NodeSpec::sun(), NodeSpec::ibm()]);
+    let r = run_cluster(cfg, &p).unwrap();
+    r.expect_clean();
+    assert_eq!(r.output, vec![expected]);
+}
+
+#[test]
+#[ignore]
+fn probe_raytracer() {
+    let params = raytracer::RayParams { size: 96, grid: 4, threads: 8 };
+    let p = raytracer::program(params);
+    for nodes in [1usize, 4] {
+        let r = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, nodes), &p).unwrap();
+        let d = r.dsm_total();
+        let n = r.net_total();
+        println!(
+            "nodes={nodes} time={:.3}ms ops={} msgs={} bytes={} fetch={} diffs={}/{}f grants={} inval={} delayed={}",
+            r.exec_time_ps as f64 / 1e9, r.ops, n.msgs_sent, n.bytes_sent,
+            d.fetches, d.diffs_sent, d.diff_fields, d.grants_sent, d.invalidations, d.releases_awaiting_acks
+        );
+    }
+}

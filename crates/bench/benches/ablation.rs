@@ -1,0 +1,15 @@
+//! Criterion bench: protocol and lock-path ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsplit_bench::ablation::{local_lock_ablation, protocol_ablation};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("protocol/mts_vs_classic/4nodes", |b| b.iter(|| protocol_ablation(4)));
+    g.bench_function("locks/fast_path_on_off", |b| b.iter(|| local_lock_ablation(200)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: Table 1 heap-access latency measurement (times the
+//! simulation of the access kernels, original vs rewritten, per JVM brand).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsplit_apps::micro::{access_kernel, AccessSpec};
+use jsplit_bench::measure::{baseline_time_ps, javasplit_time_ps};
+use jsplit_mjvm::cost::JvmProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_access");
+    g.sample_size(10);
+    for profile in [JvmProfile::SunSim, JvmProfile::IbmSim] {
+        for spec in [AccessSpec::ALL[0], AccessSpec::ALL[4]] {
+            let kernel = access_kernel(spec, 300);
+            g.bench_function(format!("{}/{}/original", profile.name(), spec.name()), |b| {
+                b.iter(|| baseline_time_ps(&kernel, profile, 1))
+            });
+            g.bench_function(format!("{}/{}/rewritten", profile.name(), spec.name()), |b| {
+                b.iter(|| javasplit_time_ps(&kernel, profile, 1))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: Table 2 acquire-cost kernels (original monitor vs
+//! JavaSplit local-object counter vs shared object).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsplit_apps::micro::{acquire_kernel, AcquireVariant};
+use jsplit_bench::measure::{baseline_time_ps, javasplit_time_ps};
+use jsplit_mjvm::cost::JvmProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_acquire");
+    g.sample_size(10);
+    for profile in [JvmProfile::SunSim, JvmProfile::IbmSim] {
+        let local = acquire_kernel(AcquireVariant::LocalObject, 300);
+        let shared = acquire_kernel(AcquireVariant::SharedObject, 300);
+        g.bench_function(format!("{}/original", profile.name()), |b| {
+            b.iter(|| baseline_time_ps(&local, profile, 1))
+        });
+        g.bench_function(format!("{}/local_object", profile.name()), |b| {
+            b.iter(|| javasplit_time_ps(&local, profile, 1))
+        });
+        g.bench_function(format!("{}/shared_object", profile.name()), |b| {
+            b.iter(|| javasplit_time_ps(&shared, profile, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: Table 3 network-latency model plus a live 2-node
+//! fetch round-trip through the full simulated stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsplit_bench::table3;
+use jsplit_net::{MsgKind, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_net");
+    for bytes in table3::SIZES {
+        g.bench_function(format!("send/{bytes}B"), |b| {
+            let sun = table3::link_of(jsplit_mjvm::cost::JvmProfile::SunSim);
+            let mut net = Network::new(vec![sun, sun]);
+            let mut t = 0u64;
+            b.iter(|| {
+                t = net.send(t, 0, 1, bytes, MsgKind::ObjState);
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: the Table 4 application runs (one representative point
+//! per app — full sweeps belong to the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsplit_bench::table4::{run_subset, Scale};
+use jsplit_mjvm::cost::JvmProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_apps");
+    g.sample_size(10);
+    for app in ["tsp", "series", "raytracer"] {
+        g.bench_function(format!("{app}/ibm/4nodes"), |b| {
+            b.iter(|| run_subset(Scale::Test, &[match app {
+                "tsp" => "tsp",
+                "series" => "series",
+                _ => "raytracer",
+            }], &[JvmProfile::IbmSim], &[4]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

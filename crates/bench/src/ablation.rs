@@ -1,0 +1,210 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! * **§3.1 — MTS-HLRC vs classic HLRC**: scalar timestamps + bounded
+//!   notices against vector timestamps + full history, on a
+//!   synchronization-heavy app (TSP). Observables: execution time, bytes on
+//!   the wire, peak notice storage/memory, releases delayed behind acks
+//!   (scalar's price), fetches delayed at homes (vector's price).
+//! * **§4.4 — local-object lock counter on/off**: the unneeded-sync kernel
+//!   (a private `java.util.Vector`) with the fast path enabled vs forced
+//!   promotion of every lock.
+
+use crate::measure::run_clean;
+use jsplit_apps::micro::vector_sync_kernel;
+use jsplit_apps::tsp;
+use jsplit_dsm::ProtocolMode;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::ClusterConfig;
+
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    pub mode: &'static str,
+    pub exec_s: f64,
+    pub msgs: u64,
+    pub kbytes: u64,
+    pub notices_max: usize,
+    pub notice_mem_max: usize,
+    pub releases_awaiting_acks: u64,
+    pub fetches_delayed_at_home: u64,
+}
+
+/// MTS vs classic on TSP over `nodes` nodes.
+pub fn protocol_ablation(nodes: usize) -> Vec<ProtocolRow> {
+    let prog = tsp::program(tsp::TspParams { n: 9, seed: 42, depth: 3, threads: 2 * nodes as i32 });
+    let mut rows = Vec::new();
+    for (name, mode) in [("MTS-HLRC", ProtocolMode::MtsHlrc), ("classic HLRC", ProtocolMode::ClassicHlrc)] {
+        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, nodes).with_protocol(mode);
+        let rep = run_clean(cfg, &prog);
+        let d = rep.dsm_total();
+        let n = rep.net_total();
+        rows.push(ProtocolRow {
+            mode: name,
+            exec_s: rep.exec_time_ps as f64 / 1e12,
+            msgs: n.msgs_sent,
+            kbytes: n.bytes_sent / 1024,
+            notices_max: d.notices_stored_max,
+            notice_mem_max: d.notice_mem_max,
+            releases_awaiting_acks: d.releases_awaiting_acks,
+            fetches_delayed_at_home: d.fetches_delayed_at_home,
+        });
+    }
+    rows
+}
+
+pub fn render_protocol(rows: &[ProtocolRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.4}", r.exec_s),
+                r.msgs.to_string(),
+                r.kbytes.to_string(),
+                r.notices_max.to_string(),
+                r.notice_mem_max.to_string(),
+                r.releases_awaiting_acks.to_string(),
+                r.fetches_delayed_at_home.to_string(),
+            ]
+        })
+        .collect();
+    crate::measure::render_table(
+        "Ablation (paper 3.1): scalar timestamps + bounded notices vs vector + full history (TSP, 8 nodes)",
+        &["mode", "exec s", "msgs", "KiB", "peak notices", "notice bytes", "ack-delayed rel", "home-delayed fetch"],
+        &body,
+    )
+}
+
+#[derive(Debug, Clone)]
+pub struct LockRow {
+    pub variant: &'static str,
+    pub exec_s: f64,
+    pub local_acquires: u64,
+    pub shared_acquires: u64,
+}
+
+/// §4.4 ablation on the unneeded-sync kernel.
+pub fn local_lock_ablation(iters: i32) -> Vec<LockRow> {
+    let prog = vector_sync_kernel(iters);
+    let mut rows = Vec::new();
+    for (variant, disable) in [("fast path ON", false), ("fast path OFF", true)] {
+        let mut cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1);
+        cfg.disable_local_locks = disable;
+        let rep = run_clean(cfg, &prog);
+        let d = rep.dsm_total();
+        rows.push(LockRow {
+            variant,
+            exec_s: rep.exec_time_ps as f64 / 1e12,
+            local_acquires: d.local_acquires,
+            shared_acquires: d.shared_acquires_local + d.shared_acquires_remote,
+        });
+    }
+    rows
+}
+
+pub fn render_locks(rows: &[LockRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.to_string(),
+                format!("{:.6}", r.exec_s),
+                r.local_acquires.to_string(),
+                r.shared_acquires.to_string(),
+            ]
+        })
+        .collect();
+    crate::measure::render_table(
+        "Ablation (paper 4.4): local-object lock counter (unneeded-sync Vector kernel)",
+        &["variant", "exec s", "local acquires", "shared acquires"],
+        &body,
+    )
+}
+
+#[derive(Debug, Clone)]
+pub struct ChunkRow {
+    pub variant: String,
+    pub exec_s: f64,
+    pub msgs: u64,
+    pub kbytes: u64,
+    pub fetches: u64,
+}
+
+/// §4.3 extension ablation: disjoint block-parallel writes over one big
+/// shared array, whole-array CU vs region CUs.
+pub fn chunk_ablation(len: i32, nodes: usize) -> Vec<ChunkRow> {
+    let prog = jsplit_apps::micro::block_array_kernel(len, 2 * nodes as i32);
+    let mut rows = Vec::new();
+    for (variant, chunk) in [("single CU (paper)", None), ("region CUs (4.3 ext)", Some(len as u32 / 16))] {
+        let mut cfg = ClusterConfig::javasplit(JvmProfile::IbmSim, nodes);
+        cfg.array_chunk = chunk;
+        let rep = run_clean(cfg, &prog);
+        let n = rep.net_total();
+        rows.push(ChunkRow {
+            variant: variant.to_string(),
+            exec_s: rep.exec_time_ps as f64 / 1e12,
+            msgs: n.msgs_sent,
+            kbytes: n.bytes_sent / 1024,
+            fetches: rep.dsm_total().fetches,
+        });
+    }
+    rows
+}
+
+pub fn render_chunks(rows: &[ChunkRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.5}", r.exec_s),
+                r.msgs.to_string(),
+                r.kbytes.to_string(),
+                r.fetches.to_string(),
+            ]
+        })
+        .collect();
+    crate::measure::render_table(
+        "Extension (paper 4.3): array region coherency units (block-parallel array writes)",
+        &["variant", "exec s", "msgs", "KiB", "fetches"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mts_bounds_notices_and_classic_skips_ack_waits() {
+        let rows = protocol_ablation(4);
+        let mts = &rows[0];
+        let classic = &rows[1];
+        assert!(mts.notices_max <= classic.notices_max, "bounded vs history");
+        assert_eq!(classic.releases_awaiting_acks, 0, "vector mode never waits for acks");
+        assert!(mts.releases_awaiting_acks > 0, "scalar mode pays the ack wait");
+    }
+
+    #[test]
+    fn region_cus_cut_traffic_for_block_parallel_arrays() {
+        let rows = chunk_ablation(2_048, 4);
+        let whole = &rows[0];
+        let chunked = &rows[1];
+        assert!(chunked.kbytes < whole.kbytes, "chunked {} vs whole {}", chunked.kbytes, whole.kbytes);
+        assert!(chunked.exec_s <= whole.exec_s * 1.05);
+    }
+
+    #[test]
+    fn local_lock_fast_path_wins() {
+        let rows = local_lock_ablation(300);
+        let on = &rows[0];
+        let off = &rows[1];
+        assert!(on.local_acquires > 0);
+        assert_eq!(off.local_acquires, 0, "fast path disabled");
+        assert!(
+            off.exec_s > on.exec_s,
+            "disabling the 4.4 optimization must cost time: {} vs {}",
+            off.exec_s,
+            on.exec_s
+        );
+    }
+}

@@ -1,0 +1,13 @@
+use jsplit_bench::measure::run_clean;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::ClusterConfig;
+fn main() {
+    let t0 = std::time::Instant::now();
+    let p = jsplit_apps::tsp::program(jsplit_apps::tsp::TspParams { n: 13, seed: 42, depth: 3, threads: 2 });
+    let r = run_clean(ClusterConfig::baseline(JvmProfile::SunSim, 2), &p);
+    println!("tsp13 baseline: virtual={:.4}s ops={} wall={:?}", r.exec_time_ps as f64/1e12, r.ops, t0.elapsed());
+    let t0 = std::time::Instant::now();
+    let p = jsplit_apps::tsp::program(jsplit_apps::tsp::TspParams { n: 13, seed: 42, depth: 3, threads: 16 });
+    let r = run_clean(ClusterConfig::javasplit(JvmProfile::SunSim, 8), &p);
+    println!("tsp13 js8(sun): virtual={:.4}s ops={} wall={:?} msgs={}", r.exec_time_ps as f64/1e12, r.ops, t0.elapsed(), r.net_total().msgs_sent);
+}

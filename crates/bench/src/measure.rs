@@ -1,0 +1,90 @@
+//! Shared measurement helpers.
+
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::{ClusterConfig, RunReport};
+
+/// Run a program, asserting a clean completion, and return the report.
+pub fn run_clean(cfg: ClusterConfig, p: &Program) -> RunReport {
+    let r = run_cluster(cfg, p).expect("cluster setup");
+    assert!(!r.deadlocked, "benchmark run deadlocked");
+    assert!(r.errors.is_empty(), "benchmark run trapped: {:?}", r.errors);
+    r
+}
+
+/// Virtual execution time of a program on the baseline (original) VM.
+pub fn baseline_time_ps(p: &Program, profile: JvmProfile, cpus: usize) -> u64 {
+    run_clean(ClusterConfig::baseline(profile, cpus), p).exec_time_ps
+}
+
+/// Virtual execution time on a JavaSplit cluster.
+pub fn javasplit_time_ps(p: &Program, profile: JvmProfile, nodes: usize) -> u64 {
+    run_clean(ClusterConfig::javasplit(profile, nodes), p).exec_time_ps
+}
+
+/// Both JVM brands, in paper order.
+pub const PROFILES: [JvmProfile; 2] = [JvmProfile::SunSim, JvmProfile::IbmSim];
+
+/// Render a simple aligned text table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format picoseconds as microseconds with 4 significant decimals.
+pub fn ps_to_us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// Format an optional paper reference value.
+pub fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.4}"),
+        None => "n/a".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "t",
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4444".into()]],
+        );
+        assert!(t.contains("== t =="));
+        assert!(t.contains("long_header"));
+        let lines: Vec<&str> = t.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5);
+    }
+}

@@ -1,0 +1,210 @@
+//! "Table 4" — the paper's figure set: execution times and speedups of TSP,
+//! Series and the 3D Ray Tracer on 1–16 dual-CPU nodes, per JVM brand.
+//!
+//! Paper methodology (§6.2): "In all our measurements two application
+//! threads were executed on each of the dual-processor nodes. [...] To
+//! calculate the speedup, we divide the execution time of the original
+//! (unmodified) Java application with two threads on a single dual-processor
+//! machine by the execution time in JavaSplit. Note that the speedup is
+//! calculated separately for each JVM."
+//!
+//! Default workload sizes are scaled down from the paper's (TSP N=18 →
+//! factorial; Series N=100 000; RayTracer 500²) so the whole sweep runs in
+//! seconds of wall-clock; `Scale::Paper` restores the original parameters.
+
+use crate::measure::{run_clean, PROFILES};
+use jsplit_apps::{raytracer, series, tsp};
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::ClusterConfig;
+
+/// Node counts swept by the paper's plots.
+pub const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Workload scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for unit tests (sub-second).
+    Test,
+    /// Laptop-sized defaults (tens of seconds of wall-clock for the full
+    /// sweep in release mode) — large enough that compute dominates the
+    /// fixed communication overheads through 8–16 nodes.
+    Bench,
+    /// 8–10× Bench: the compute-dominated regime where the paper's
+    /// per-JVM speedup comparisons live (≈ a minute of wall-clock per
+    /// configuration; used by the repro harness's "claims" section).
+    Deep,
+    /// The paper's parameters (hours of wall-clock).
+    Paper,
+}
+
+/// One point of one plot.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub app: &'static str,
+    pub profile: JvmProfile,
+    pub nodes: usize,
+    pub threads: i32,
+    /// JavaSplit execution time (virtual seconds).
+    pub exec_s: f64,
+    /// Original (baseline) execution time with 2 threads on one node.
+    pub baseline_s: f64,
+    pub speedup: f64,
+    pub msgs: u64,
+    pub kbytes: u64,
+}
+
+/// Program builder per app: `f(threads) -> Program`.
+fn app_program(app: &'static str, scale: Scale, threads: i32) -> Program {
+    match (app, scale) {
+        ("tsp", Scale::Test) => tsp::program(tsp::TspParams { n: 9, seed: 42, depth: 3, threads }),
+        ("tsp", Scale::Bench) => tsp::program(tsp::TspParams { n: 13, seed: 42, depth: 3, threads }),
+        ("tsp", Scale::Deep) => tsp::program(tsp::TspParams { n: 14, seed: 42, depth: 3, threads }),
+        ("tsp", Scale::Paper) => tsp::program(tsp::TspParams::paper_scale(threads)),
+        ("series", Scale::Test) => {
+            series::program(series::SeriesParams { n: 96, intervals: 1000, threads })
+        }
+        ("series", Scale::Bench) => {
+            series::program(series::SeriesParams { n: 256, intervals: 4000, threads })
+        }
+        ("series", Scale::Deep) => {
+            series::program(series::SeriesParams { n: 512, intervals: 10_000, threads })
+        }
+        ("series", Scale::Paper) => series::program(series::SeriesParams::paper_scale(threads)),
+        ("raytracer", Scale::Test) => {
+            raytracer::program(raytracer::RayParams { size: 48, grid: 4, threads })
+        }
+        ("raytracer", Scale::Bench) => {
+            raytracer::program(raytracer::RayParams { size: 360, grid: 4, threads })
+        }
+        ("raytracer", Scale::Deep) => {
+            raytracer::program(raytracer::RayParams { size: 700, grid: 4, threads })
+        }
+        ("raytracer", Scale::Paper) => raytracer::program(raytracer::RayParams::paper_scale(threads)),
+        _ => unreachable!("unknown app {app}"),
+    }
+}
+
+pub const APPS: [&str; 3] = ["tsp", "series", "raytracer"];
+
+/// Run the full sweep (3 apps × 2 JVMs × 5 node counts) plus baselines.
+pub fn run(scale: Scale) -> Vec<Point> {
+    run_subset(scale, &APPS, &PROFILES, &NODE_COUNTS)
+}
+
+/// Run a subset of the sweep (used by the criterion benches).
+///
+/// The (app × profile) sweeps are independent deterministic simulations, so
+/// they run on parallel OS threads (crossbeam scope); results are reassembled
+/// in sweep order, so the output is identical to a sequential run.
+pub fn run_subset(
+    scale: Scale,
+    apps: &[&'static str],
+    profiles: &[JvmProfile],
+    node_counts: &[usize],
+) -> Vec<Point> {
+    let mut sweeps: Vec<(usize, &'static str, JvmProfile)> = Vec::new();
+    for &app in apps {
+        for &profile in profiles {
+            sweeps.push((sweeps.len(), app, profile));
+        }
+    }
+    let mut results: Vec<(usize, Vec<Point>)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = sweeps
+            .iter()
+            .map(|&(ord, app, profile)| {
+                s.spawn(move |_| {
+                    // Baseline: the original program, 2 threads, one node.
+                    let base_prog = app_program(app, scale, 2);
+                    let baseline_ps =
+                        run_clean(ClusterConfig::baseline(profile, 2), &base_prog).exec_time_ps;
+                    let baseline_s = baseline_ps as f64 / 1e12;
+                    let mut pts = Vec::new();
+                    for &nodes in node_counts {
+                        let threads = 2 * nodes as i32;
+                        let prog = app_program(app, scale, threads);
+                        let rep = run_clean(ClusterConfig::javasplit(profile, nodes), &prog);
+                        let exec_s = rep.exec_time_ps as f64 / 1e12;
+                        let net = rep.net_total();
+                        pts.push(Point {
+                            app,
+                            profile,
+                            nodes,
+                            threads,
+                            exec_s,
+                            baseline_s,
+                            speedup: baseline_s / exec_s,
+                            msgs: net.msgs_sent,
+                            kbytes: net.bytes_sent / 1024,
+                        });
+                    }
+                    (ord, pts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+    })
+    .expect("crossbeam scope");
+    results.sort_by_key(|(ord, _)| *ord);
+    results.into_iter().flat_map(|(_, pts)| pts).collect()
+}
+
+pub fn render(points: &[Point]) -> String {
+    let mut out = String::new();
+    for app in APPS {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.app == app)
+            .map(|p| {
+                vec![
+                    p.profile.name().to_string(),
+                    p.nodes.to_string(),
+                    p.threads.to_string(),
+                    format!("{:.4}", p.exec_s),
+                    format!("{:.4}", p.baseline_s),
+                    format!("{:.2}", p.speedup),
+                    p.msgs.to_string(),
+                    p.kbytes.to_string(),
+                ]
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(&crate::measure::render_table(
+            &format!("Table 4 ({app}): Execution times (virtual s) and speedups"),
+            &["jvm", "nodes", "threads", "exec s", "orig s", "speedup", "msgs", "KiB"],
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep pinning the paper's qualitative shape without the
+    /// full 30-run cost: Series on the low-latency IBM profile at 1/4/8
+    /// nodes (Sun needs Bench-scale compute to amortize its 0.64 ms socket
+    /// overhead — asserted by the repro harness, recorded in
+    /// EXPERIMENTS.md).
+    #[test]
+    fn series_speedup_grows_with_nodes() {
+        let pts = run_subset(Scale::Test, &["series"], &[JvmProfile::IbmSim], &[1, 2, 4]);
+        let s: Vec<&Point> = pts.iter().collect();
+        assert!(s[1].speedup > s[0].speedup, "2 nodes must beat 1: {:?}", s);
+        assert!(s[2].speedup > s[1].speedup, "4 nodes must beat 2: {:?}", s);
+        // Efficiency below 100% (instrumentation slowdown, paper §6.2).
+        for p in &s {
+            assert!(
+                p.speedup < p.nodes as f64,
+                "{} nodes: speedup {:.2} should stay below node count",
+                p.nodes,
+                p.speedup
+            );
+        }
+        // Traffic grows with nodes (more lock transfers / fetches).
+        assert!(s[2].msgs > s[0].msgs);
+    }
+}

@@ -1,0 +1,186 @@
+//! Twin/diff machinery for multiple-writer LRC (paper §3).
+//!
+//! "Updates to an object are detected and propagated from a writer to its
+//! home as a difference (diff) between the modified object and a reference
+//! copy (twin) created before the first write following invalidation."
+//!
+//! A twin is simply a clone of the object's payload. A diff is the list of
+//! (slot, new value) pairs where the payloads differ — the field-granular
+//! output of the generated `DSM_diff` methods (Figure 2). Applying a diff is
+//! a sparse write into the master copy, which is what lets concurrent
+//! writers of *different* fields merge at the home without false conflicts.
+
+use jsplit_mjvm::heap::ObjPayload;
+use jsplit_mjvm::value::Value;
+
+/// A field-granular diff in node-local terms (references still `ObjRef`s;
+/// the node maps them to gids when building the wire message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diff {
+    pub entries: Vec<(u32, Value)>,
+}
+
+impl Diff {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Compare the current payload against its twin within `[lo, hi)` only —
+/// the per-region diff of the §4.3 chunked-array extension.
+pub fn compute_range(twin: &ObjPayload, current: &ObjPayload, lo: usize, hi: usize) -> Diff {
+    let mut d = compute(twin, current);
+    d.entries.retain(|(i, _)| (*i as usize) >= lo && (*i as usize) < hi);
+    d
+}
+
+/// Compare the current payload against its twin.
+pub fn compute(twin: &ObjPayload, current: &ObjPayload) -> Diff {
+    let mut entries = Vec::new();
+    match (twin, current) {
+        (ObjPayload::Fields(t), ObjPayload::Fields(c)) => {
+            for (i, (tv, cv)) in t.iter().zip(c.iter()).enumerate() {
+                if !value_eq(*tv, *cv) {
+                    entries.push((i as u32, *cv));
+                }
+            }
+        }
+        (ObjPayload::ArrI32(t), ObjPayload::ArrI32(c)) => {
+            for (i, (tv, cv)) in t.iter().zip(c.iter()).enumerate() {
+                if tv != cv {
+                    entries.push((i as u32, Value::I32(*cv)));
+                }
+            }
+        }
+        (ObjPayload::ArrI64(t), ObjPayload::ArrI64(c)) => {
+            for (i, (tv, cv)) in t.iter().zip(c.iter()).enumerate() {
+                if tv != cv {
+                    entries.push((i as u32, Value::I64(*cv)));
+                }
+            }
+        }
+        (ObjPayload::ArrF64(t), ObjPayload::ArrF64(c)) => {
+            for (i, (tv, cv)) in t.iter().zip(c.iter()).enumerate() {
+                if tv.to_bits() != cv.to_bits() {
+                    entries.push((i as u32, Value::F64(*cv)));
+                }
+            }
+        }
+        (ObjPayload::ArrRef(t), ObjPayload::ArrRef(c)) => {
+            for (i, (tv, cv)) in t.iter().zip(c.iter()).enumerate() {
+                if !value_eq(*tv, *cv) {
+                    entries.push((i as u32, *cv));
+                }
+            }
+        }
+        (ObjPayload::Str(_), ObjPayload::Str(_)) => { /* strings are immutable */ }
+        (a, b) => panic!("twin/current payload shape mismatch: {a:?} vs {b:?}"),
+    }
+    Diff { entries }
+}
+
+/// Bitwise value equality (f64 compared by bits so NaN doesn't diff forever).
+#[inline]
+fn value_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Apply diff entries (already localized to this heap's refs) to a payload.
+pub fn apply(payload: &mut ObjPayload, entries: &[(u32, Value)]) {
+    for (slot, v) in entries {
+        let i = *slot as usize;
+        match payload {
+            ObjPayload::Fields(f) => f[i] = *v,
+            ObjPayload::ArrI32(a) => a[i] = v.as_i32(),
+            ObjPayload::ArrI64(a) => a[i] = v.as_i64(),
+            ObjPayload::ArrF64(a) => a[i] = v.as_f64(),
+            ObjPayload::ArrRef(a) => a[i] = *v,
+            ObjPayload::Str(_) => panic!("diff applied to immutable string"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_payloads_produce_empty_diff() {
+        let twin = ObjPayload::Fields(vec![Value::I32(1), Value::Null]);
+        assert!(compute(&twin, &twin.clone()).is_empty());
+    }
+
+    #[test]
+    fn only_changed_fields_diffed() {
+        let twin = ObjPayload::Fields(vec![Value::I32(1), Value::F64(2.0), Value::Null]);
+        let cur = ObjPayload::Fields(vec![Value::I32(1), Value::F64(3.0), Value::Null]);
+        let d = compute(&twin, &cur);
+        assert_eq!(d.entries, vec![(1, Value::F64(3.0))]);
+    }
+
+    #[test]
+    fn array_diffs_are_sparse() {
+        let twin = ObjPayload::ArrI32(vec![0; 100]);
+        let mut cur = vec![0; 100];
+        cur[7] = 7;
+        cur[93] = 93;
+        let d = compute(&twin, &ObjPayload::ArrI32(cur));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.entries[0], (7, Value::I32(7)));
+        assert_eq!(d.entries[1], (93, Value::I32(93)));
+    }
+
+    #[test]
+    fn apply_round_trips() {
+        let twin = ObjPayload::ArrF64(vec![0.0; 8]);
+        let mut cur = twin.clone();
+        apply(&mut cur, &[(2, Value::F64(2.5)), (5, Value::F64(-1.0))]);
+        let d = compute(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        apply(&mut rebuilt, &d.entries);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_merge() {
+        // The multiple-writer property: two writers of different fields both
+        // apply cleanly to the master.
+        let master0 = ObjPayload::Fields(vec![Value::I32(0), Value::I32(0)]);
+        let mut w1 = master0.clone();
+        apply(&mut w1, &[(0, Value::I32(10))]);
+        let mut w2 = master0.clone();
+        apply(&mut w2, &[(1, Value::I32(20))]);
+        let d1 = compute(&master0, &w1);
+        let d2 = compute(&master0, &w2);
+        let mut master = master0.clone();
+        apply(&mut master, &d1.entries);
+        apply(&mut master, &d2.entries);
+        assert_eq!(master, ObjPayload::Fields(vec![Value::I32(10), Value::I32(20)]));
+    }
+
+    #[test]
+    fn range_diff_filters_regions() {
+        let twin = ObjPayload::ArrI32(vec![0; 10]);
+        let mut cur = vec![0; 10];
+        cur[2] = 2;
+        cur[7] = 7;
+        let cur = ObjPayload::ArrI32(cur);
+        let d = compute_range(&twin, &cur, 0, 5);
+        assert_eq!(d.entries, vec![(2, Value::I32(2))]);
+        let d = compute_range(&twin, &cur, 5, 10);
+        assert_eq!(d.entries, vec![(7, Value::I32(7))]);
+    }
+
+    #[test]
+    fn nan_does_not_diff_against_itself() {
+        let twin = ObjPayload::ArrF64(vec![f64::NAN]);
+        assert!(compute(&twin, &twin.clone()).is_empty());
+    }
+}

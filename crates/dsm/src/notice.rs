@@ -1,0 +1,169 @@
+//! Write-notice storage (paper §3.1).
+//!
+//! Classic HLRC keeps *every* write notice a node has ever seen — unbounded
+//! without global garbage collection, which the paper rules out for
+//! scalability. MTS-HLRC instead keeps only the most recent notice per
+//! coherency unit, bounding storage by the number of shared CUs.
+//!
+//! [`NoticeBoard`] implements both policies behind one interface; the
+//! ablation benchmark compares their memory footprints and grant sizes.
+
+use crate::protocol::Requirement;
+use jsplit_mjvm::heap::Gid;
+use jsplit_net::NodeId;
+use std::collections::HashMap;
+
+/// One stored notice in full-history mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredNotice {
+    pub gid: Gid,
+    /// Writer (node, interval) tag, used for vector-clock filtering.
+    pub node: NodeId,
+    pub interval: u32,
+    pub req: Requirement,
+}
+
+/// The per-node write-notice store.
+#[derive(Debug, Clone)]
+pub enum NoticeBoard {
+    /// MTS: most recent notice per CU (bounded).
+    MostRecent { map: HashMap<Gid, Requirement> },
+    /// Classic HLRC: complete history (unbounded; the paper's complaint).
+    FullHistory { all: Vec<StoredNotice> },
+}
+
+impl NoticeBoard {
+    pub fn most_recent() -> NoticeBoard {
+        NoticeBoard::MostRecent { map: HashMap::new() }
+    }
+
+    pub fn full_history() -> NoticeBoard {
+        NoticeBoard::FullHistory { all: Vec::new() }
+    }
+
+    /// Record a notice (own write at a release, or one received via a
+    /// grant).
+    pub fn record(&mut self, gid: Gid, node: NodeId, interval: u32, req: &Requirement) {
+        match self {
+            NoticeBoard::MostRecent { map } => {
+                map.entry(gid).or_default().join(req);
+            }
+            NoticeBoard::FullHistory { all } => {
+                all.push(StoredNotice { gid, node, interval, req: req.clone() });
+            }
+        }
+    }
+
+    /// Notices to send with a lock grant. `acquirer_vc` is the requester's
+    /// vector clock (classic mode filters out already-seen intervals; MTS
+    /// sends its whole — bounded — map).
+    pub fn for_grant(&self, acquirer_vc: &[u32]) -> Vec<(Gid, Requirement)> {
+        match self {
+            NoticeBoard::MostRecent { map } => {
+                let mut v: Vec<(Gid, Requirement)> = map.iter().map(|(g, r)| (*g, r.clone())).collect();
+                v.sort_by_key(|(g, _)| *g);
+                v
+            }
+            NoticeBoard::FullHistory { all } => {
+                let mut out: HashMap<Gid, Requirement> = HashMap::new();
+                for n in all {
+                    let seen = acquirer_vc.get(n.node as usize).copied().unwrap_or(0);
+                    if n.interval > seen {
+                        out.entry(n.gid).or_default().join(&n.req);
+                    }
+                }
+                let mut v: Vec<(Gid, Requirement)> = out.into_iter().collect();
+                v.sort_by_key(|(g, _)| *g);
+                v
+            }
+        }
+    }
+
+    /// The join of everything known about one CU — what a fetch must ask
+    /// its home for.
+    pub fn requirement_of(&self, gid: Gid) -> Requirement {
+        match self {
+            NoticeBoard::MostRecent { map } => map.get(&gid).cloned().unwrap_or_default(),
+            NoticeBoard::FullHistory { all } => {
+                let mut r = Requirement::default();
+                for n in all.iter().filter(|n| n.gid == gid) {
+                    r.join(&n.req);
+                }
+                r
+            }
+        }
+    }
+
+    /// Number of stored notice records (the §3.1 memory-bound claim).
+    pub fn stored(&self) -> usize {
+        match self {
+            NoticeBoard::MostRecent { map } => map.len(),
+            NoticeBoard::FullHistory { all } => all.len(),
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            NoticeBoard::MostRecent { map } => map.values().map(|r| 8 + r.mem_bytes()).sum(),
+            NoticeBoard::FullHistory { all } => all.iter().map(|n| 14 + n.req.mem_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Timestamp;
+
+    fn scalar_req(v: u32) -> Requirement {
+        Requirement::from_ts(&Timestamp::Scalar(v))
+    }
+
+    #[test]
+    fn most_recent_is_bounded_per_cu() {
+        let mut b = NoticeBoard::most_recent();
+        for round in 1..=100u32 {
+            for cu in 0..10u64 {
+                b.record(Gid::new(0, cu), 0, round, &scalar_req(round));
+            }
+        }
+        assert_eq!(b.stored(), 10, "bounded by #CUs regardless of history length");
+        // And the kept notice is the most recent (max version).
+        let grant = b.for_grant(&[]);
+        assert!(grant.iter().all(|(_, r)| r.scalar == 100));
+    }
+
+    #[test]
+    fn full_history_grows_without_bound() {
+        let mut b = NoticeBoard::full_history();
+        for round in 1..=100u32 {
+            b.record(Gid::new(0, 0), 0, round, &scalar_req(round));
+        }
+        assert_eq!(b.stored(), 100);
+        assert!(b.mem_bytes() > NoticeBoard::most_recent().mem_bytes());
+    }
+
+    #[test]
+    fn full_history_grant_filters_by_vector_clock() {
+        let mut b = NoticeBoard::full_history();
+        for interval in 1..=10u32 {
+            b.record(Gid::new(0, interval as u64), 2, interval, &scalar_req(interval));
+        }
+        // Acquirer has already seen node 2 up to interval 7.
+        let vc = vec![0, 0, 7];
+        let grant = b.for_grant(&vc);
+        assert_eq!(grant.len(), 3, "only intervals 8..=10 are new");
+    }
+
+    #[test]
+    fn most_recent_grant_is_deterministic() {
+        let mut b = NoticeBoard::most_recent();
+        b.record(Gid::new(1, 5), 0, 1, &scalar_req(2));
+        b.record(Gid::new(0, 9), 0, 1, &scalar_req(1));
+        let g1 = b.for_grant(&[]);
+        let g2 = b.for_grant(&[]);
+        assert_eq!(g1, g2);
+        assert!(g1[0].0 < g1[1].0);
+    }
+}

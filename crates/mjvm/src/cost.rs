@@ -1,0 +1,331 @@
+//! Virtual-time cost model.
+//!
+//! The discrete-event runtime charges every executed instruction a cost in
+//! **picoseconds** of virtual time. Two "JVM brand" profiles are provided,
+//! calibrated directly from the paper's micro-benchmarks (Tables 1–3, taken
+//! on 2×1.7 GHz Xeon nodes, Sun JDK 1.4.0 vs IBM JDK 1.3.0):
+//!
+//! * [`JvmProfile::SunSim`] — flat heap-access latency; an access check makes
+//!   an access ~2.2–5.6× slower (Table 1, Sun columns). High socket overhead
+//!   for small messages (Table 3, Sun column).
+//! * [`JvmProfile::IbmSim`] — *repeated* accesses to the same datum are an
+//!   order of magnitude cheaper than first accesses, modelling IBM's JIT
+//!   optimization of repeated data access. The injected access check defeats
+//!   this optimization (the paper: "the access checks stand in the way of
+//!   optimizations employed in the IBM's JVM"), modelled here by having a
+//!   `DsmCheck*` clear the interpreter's inline access cache — so rewritten
+//!   code pays first-access cost every time, yielding the 12–55× slowdowns
+//!   of Table 1's IBM columns. Low socket overhead (Table 3, IBM column).
+//!
+//! All constants below are in picoseconds unless suffixed otherwise; Table
+//! values in µs convert at 1 µs = 1 000 000 ps.
+
+use crate::instr::{AccessKind, Instr};
+
+/// Which JVM brand a simulated node runs (paper §6 mixes both in one run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JvmProfile {
+    /// Modeled on Sun JDK 1.4.0.
+    SunSim,
+    /// Modeled on IBM JDK 1.3.0.
+    IbmSim,
+}
+
+impl JvmProfile {
+    pub fn name(self) -> &'static str {
+        match self {
+            JvmProfile::SunSim => "SunSim",
+            JvmProfile::IbmSim => "IbmSim",
+        }
+    }
+
+    pub fn cost_model(self) -> &'static CostModel {
+        match self {
+            JvmProfile::SunSim => &SUN,
+            JvmProfile::IbmSim => &IBM,
+        }
+    }
+}
+
+/// Read/write discriminator for access costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rw {
+    Read,
+    Write,
+}
+
+/// Per-access-kind cost triple (all picoseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct AccessCost {
+    /// First (cache-cold) access in original code.
+    pub first: u64,
+    /// Repeated access to the same datum in original code.
+    pub repeat: u64,
+    /// Total cost of an instrumented access (check fast path + access) —
+    /// Table 1 "Rewritten" column.
+    pub rewritten: u64,
+}
+
+impl AccessCost {
+    /// Cost charged to the `DsmCheck*` instruction itself: rewritten total
+    /// minus the (first) access it guards.
+    pub fn check(&self) -> u64 {
+        self.rewritten.saturating_sub(self.first)
+    }
+}
+
+/// The complete virtual-time cost model of one JVM brand.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub profile: JvmProfile,
+    /// `[kind][rw]` access costs; kinds indexed Field=0, Static=1, Array=2.
+    pub access: [[AccessCost; 2]; 3],
+    /// Cost of a generic ALU/stack/branch instruction.
+    pub generic_op: u64,
+    /// Original JVM `monitorenter` (Table 2 "Original").
+    pub monitor_enter: u64,
+    /// Original `monitorexit`.
+    pub monitor_exit: u64,
+    /// JavaSplit lock-counter acquire on a *local* object (Table 2 "Local
+    /// Object" — note: cheaper than the original monitorenter, §4.4).
+    pub dsm_local_acquire: u64,
+    /// JavaSplit acquire of a *shared* object when no communication results
+    /// (Table 2 "Shared Object").
+    pub dsm_shared_acquire: u64,
+    /// Release counterparts (the paper only reports acquires; releases are
+    /// taken as 60% of the acquire cost).
+    pub dsm_local_release: u64,
+    pub dsm_shared_release: u64,
+    /// Method invocation overhead (frame push/pop) and per-argument cost.
+    pub invoke: u64,
+    pub invoke_per_arg: u64,
+    /// Object allocation; array allocation adds `alloc_per_byte`·size.
+    pub alloc: u64,
+    pub alloc_per_byte: u64,
+    /// Native math routine (sqrt, sin, …).
+    pub math_op: u64,
+    /// Console println.
+    pub println: u64,
+    /// CPU cost of handling one DSM protocol message (deserialize+dispatch).
+    pub handler_fixed_ns: u64,
+    /// CPU cost per byte serialized/deserialized by the custom codec.
+    pub serialize_per_byte: u64,
+    /// Diff computation per field compared (twin vs current).
+    pub diff_per_field: u64,
+    /// Network: per-message base latency in nanoseconds (Table 3 fit).
+    pub net_base_ns: u64,
+    /// Network: per-byte latency in nanoseconds (≈ 100 Mbit/s wire).
+    pub net_per_byte_ns: u64,
+}
+
+impl CostModel {
+    #[inline]
+    pub fn access_cost(&self, kind: AccessKind, rw: Rw) -> &AccessCost {
+        &self.access[kind_idx(kind)][rw as usize]
+    }
+
+    /// Baseline (uninstrumented) access cost.
+    #[inline]
+    pub fn access(&self, kind: AccessKind, rw: Rw, repeated: bool) -> u64 {
+        let c = self.access_cost(kind, rw);
+        if repeated {
+            c.repeat
+        } else {
+            c.first
+        }
+    }
+
+    /// Static cost of an instruction that needs no dynamic context. Heap
+    /// accesses, checks, monitors and invokes are charged by the interpreter
+    /// with dynamic context instead; this returns their non-access component
+    /// (0 for pure-dynamic ops).
+    #[inline]
+    pub fn static_cost(&self, ins: &Instr) -> u64 {
+        match ins {
+            Instr::GetFieldQ { .. }
+            | Instr::PutFieldQ { .. }
+            | Instr::GetStaticQ { .. }
+            | Instr::PutStaticQ { .. }
+            | Instr::ALoad(_)
+            | Instr::AStore(_)
+            | Instr::DsmCheckRead { .. }
+            | Instr::DsmCheckWrite { .. }
+            | Instr::MonitorEnter
+            | Instr::MonitorExit
+            | Instr::DsmMonitorEnter
+            | Instr::DsmMonitorExit
+            | Instr::DsmVolatileAcquire { .. }
+            | Instr::DsmVolatileRelease
+            | Instr::InvokeStaticQ(_)
+            | Instr::InvokeSpecialQ(_)
+            | Instr::InvokeVirtualQ { .. }
+            | Instr::NewQ(_)
+            | Instr::NewArray(_)
+            | Instr::LdcStr(_)
+            | Instr::DsmSpawn => 0,
+            Instr::Nop => self.generic_op / 2,
+            _ => self.generic_op,
+        }
+    }
+}
+
+#[inline]
+fn kind_idx(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Field => 0,
+        AccessKind::Static => 1,
+        AccessKind::Array => 2,
+    }
+}
+
+const fn ac(first: u64, repeat: u64, rewritten: u64) -> AccessCost {
+    AccessCost { first, repeat, rewritten }
+}
+
+/// Sun JDK 1.4.0 profile — Table 1/2/3 Sun columns.
+/// Sun shows no repeated-access optimization: repeat == first.
+pub static SUN: CostModel = CostModel {
+    profile: JvmProfile::SunSim,
+    access: [
+        // Field: read 8.37e-4 µs → 1.82e-3 µs; write 9.69e-4 → 2.48e-3.
+        [ac(837, 837, 1_820), ac(969, 969, 2_480)],
+        // Static: read slowdown 3.1, write slowdown 2.2 (Table 1 partially
+        // illegible in the source; reconstructed around ~0.9e-3 µs
+        // originals). The write constant excludes the Swap the statics
+        // transformation inserts (one generic op), so the *end-to-end*
+        // instrumented static write lands on the paper's total.
+        [ac(850, 850, 2_640), ac(980, 980, 1_360)],
+        // Array: read →5.45e-3 (×5.57); write →5.05e-3 (×4.1).
+        [ac(978, 978, 5_450), ac(1_232, 1_232, 5_050)],
+    ],
+    generic_op: 800,
+    monitor_enter: 90_600,     // Table 2: 9.06e-2 µs
+    monitor_exit: 54_400,
+    dsm_local_acquire: 19_600, // Table 2: 1.96e-2 µs — cheaper than original!
+    dsm_shared_acquire: 281_000, // Table 2: 2.81e-1 µs
+    dsm_local_release: 11_800,
+    dsm_shared_release: 168_600,
+    invoke: 2_500,
+    invoke_per_arg: 200,
+    alloc: 60_000,
+    alloc_per_byte: 60,
+    math_op: 2_000,
+    println: 2_000_000,
+    handler_fixed_ns: 5_000,
+    serialize_per_byte: 250,
+    diff_per_field: 600,
+    // Table 3 linear fit: 0.6421 ms @65 B … 6.3694 ms @65 kB.
+    net_base_ns: 636_400,
+    net_per_byte_ns: 88,
+};
+
+/// IBM JDK 1.3.0 profile — Table 1/2/3 IBM columns.
+/// Repeated accesses are ~an order of magnitude cheaper than first accesses;
+/// the instrumentation defeats that optimization. The generic-op cost is
+/// also markedly below Sun's: the paper observes "the much lower execution
+/// time of Series on a single IBM's JVM in comparison to the execution on a
+/// single Sun's JVM", i.e. IBM's JIT ran plain compute faster across the
+/// board — which is exactly what makes the *rewritten* code's relative
+/// slowdown (and hence the speedup denominator gap) larger on IBM.
+pub static IBM: CostModel = CostModel {
+    profile: JvmProfile::IbmSim,
+    access: [
+        // Field: read 6.53e-5 µs repeat → 1.63e-3 rewritten (×24.9);
+        //        write 6.03e-5 → 7.36e-4 (×12.2).
+        [ac(300, 65, 1_630), ac(300, 60, 736)],
+        // Static: read 6.14e-5 → 7.32e-4 (×11.9); write 5.98e-5 → 1.61e-3
+        // (×26.9; constant excludes the transformation's Swap — see SUN).
+        [ac(300, 61, 732), ac(300, 60, 1_160)],
+        // Array: read 9.05e-5 → 4.99e-3 (×55.1); write 1.94e-4 → 4.98e-3 (×25.7).
+        [ac(350, 90, 4_990), ac(400, 194, 4_980)],
+    ],
+    generic_op: 450,
+    monitor_enter: 93_400,     // Table 2: 9.34e-2 µs
+    monitor_exit: 56_000,
+    dsm_local_acquire: 54_700, // Table 2: 5.47e-2 µs
+    dsm_shared_acquire: 327_000, // Table 2: 3.27e-1 µs
+    dsm_local_release: 32_800,
+    dsm_shared_release: 196_200,
+    invoke: 2_200,
+    invoke_per_arg: 180,
+    alloc: 55_000,
+    alloc_per_byte: 55,
+    math_op: 1_800,
+    println: 1_800_000,
+    handler_fixed_ns: 4_500,
+    serialize_per_byte: 220,
+    diff_per_field: 550,
+    // Table 3 fit: 0.0917 ms @65 B … 5.9984 ms @65 kB.
+    net_base_ns: 85_800,
+    net_per_byte_ns: 91,
+};
+
+/// Picoseconds per second, for report formatting.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_slowdowns_sun() {
+        // Rewritten/original ratios must reproduce Table 1's Sun column.
+        let m = JvmProfile::SunSim.cost_model();
+        let fr = m.access_cost(AccessKind::Field, Rw::Read);
+        let ratio = fr.rewritten as f64 / fr.repeat as f64;
+        assert!((ratio - 2.17).abs() < 0.05, "field read slowdown {ratio}");
+        let aw = m.access_cost(AccessKind::Array, Rw::Write);
+        let ratio = aw.rewritten as f64 / aw.repeat as f64;
+        assert!((ratio - 4.1).abs() < 0.1, "array write slowdown {ratio}");
+    }
+
+    #[test]
+    fn table1_slowdowns_ibm() {
+        let m = JvmProfile::IbmSim.cost_model();
+        let fr = m.access_cost(AccessKind::Field, Rw::Read);
+        let ratio = fr.rewritten as f64 / fr.repeat as f64;
+        assert!((ratio - 24.9).abs() < 0.5, "field read slowdown {ratio}");
+        let ar = m.access_cost(AccessKind::Array, Rw::Read);
+        let ratio = ar.rewritten as f64 / ar.repeat as f64;
+        assert!((ratio - 55.1).abs() < 1.0, "array read slowdown {ratio}");
+    }
+
+    #[test]
+    fn table2_local_acquire_cheaper_than_original() {
+        // §4.4: lock-counter acquire beats the original Java monitorenter.
+        for p in [JvmProfile::SunSim, JvmProfile::IbmSim] {
+            let m = p.cost_model();
+            assert!(m.dsm_local_acquire < m.monitor_enter, "{p:?}");
+            assert!(m.dsm_shared_acquire > m.monitor_enter, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn table3_latency_fit() {
+        // base + 65000·per_byte must land near the measured 65 kB latency.
+        let sun = JvmProfile::SunSim.cost_model();
+        let ms = (sun.net_base_ns + 65_000 * sun.net_per_byte_ns) as f64 / 1e6;
+        assert!((ms - 6.3694).abs() < 0.15, "sun 65k latency {ms} ms");
+        let ibm = JvmProfile::IbmSim.cost_model();
+        let ms = (ibm.net_base_ns + 65_000 * ibm.net_per_byte_ns) as f64 / 1e6;
+        assert!((ms - 5.9984).abs() < 0.15, "ibm 65k latency {ms} ms");
+    }
+
+    #[test]
+    fn check_cost_nonnegative() {
+        for p in [JvmProfile::SunSim, JvmProfile::IbmSim] {
+            let m = p.cost_model();
+            for kind in [AccessKind::Field, AccessKind::Static, AccessKind::Array] {
+                for rw in [Rw::Read, Rw::Write] {
+                    let c = m.access_cost(kind, rw);
+                    assert!(c.rewritten > c.first, "{p:?} {kind:?} {rw:?}");
+                    assert!(c.first >= c.repeat, "{p:?} {kind:?} {rw:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The MJVM instruction set.
+//!
+//! Instructions come in one *symbolic* flavour: class, field and method
+//! operands are named by string, exactly like a JVM class file's constant-pool
+//! references. The [`crate::loader`] resolves names to dense indices at load
+//! time so the interpreter never hashes strings.
+//!
+//! The `Dsm*` pseudo-instructions model the handler calls and inline fast
+//! paths the JavaSplit rewriter injects (paper §4, Figure 3). They are never
+//! produced by the program builder directly — only `jsplit-rewriter` emits
+//! them — and the baseline [`crate::localvm::LocalVm`] treats executing one as
+//! a verification error unless its environment supports DSM checks.
+
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Declared slot types (JVM computational types, minus `float`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    I32,
+    I64,
+    F64,
+    Ref,
+}
+
+impl Ty {
+    /// Compact descriptor character, used in signatures and the disassembler.
+    pub fn descriptor(self) -> char {
+        match self {
+            Ty::I32 => 'I',
+            Ty::I64 => 'J',
+            Ty::F64 => 'D',
+            Ty::Ref => 'L',
+        }
+    }
+}
+
+/// Array element types (what `newarray` can allocate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemTy {
+    I32,
+    I64,
+    F64,
+    Ref,
+}
+
+impl ElemTy {
+    pub fn ty(self) -> Ty {
+        match self {
+            ElemTy::I32 => Ty::I32,
+            ElemTy::I64 => Ty::I64,
+            ElemTy::F64 => Ty::F64,
+            ElemTy::Ref => Ty::Ref,
+        }
+    }
+}
+
+/// Comparison condition for branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    #[inline]
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// What kind of heap datum an access-check guards. The paper's Table 1
+/// distinguishes exactly these six cases (field/static/array × read/write);
+/// carrying the kind lets the cost model and the statistics do the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Field,
+    Static,
+    Array,
+}
+
+/// One MJVM instruction.
+///
+/// Branch targets are program-counter indices into the owning method's code
+/// array (the builder resolves labels to indices at `build()` time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ---- constants & stack manipulation ----
+    /// Push a constant.
+    Const(Value),
+    /// Push a string literal (allocates/interns a `java.lang.String`).
+    LdcStr(Arc<str>),
+    /// Duplicate the top slot.
+    Dup,
+    /// Duplicate the top slot below the second slot (`dup_x1`): `..a b` → `..b a b`.
+    DupX1,
+    /// Pop the top slot.
+    Pop,
+    /// Swap the two top slots.
+    Swap,
+
+    // ---- locals ----
+    /// Push local variable `n`.
+    Load(u16),
+    /// Pop into local variable `n`.
+    Store(u16),
+    /// Add an immediate to integer local `n` (JVM `iinc`).
+    IInc(u16, i32),
+
+    // ---- integer arithmetic (i32) ----
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IRem,
+    INeg,
+    IShl,
+    IShr,
+    IUShr,
+    IAnd,
+    IOr,
+    IXor,
+
+    // ---- long arithmetic (i64) ----
+    LAdd,
+    LSub,
+    LMul,
+    LDiv,
+    LRem,
+    LNeg,
+
+    // ---- double arithmetic (f64) ----
+    DAdd,
+    DSub,
+    DMul,
+    DDiv,
+    DRem,
+    DNeg,
+
+    // ---- conversions ----
+    I2L,
+    I2D,
+    L2I,
+    L2D,
+    D2I,
+    D2L,
+
+    // ---- comparisons producing -1/0/1 (JVM lcmp / dcmpg) ----
+    LCmp,
+    DCmp,
+
+    // ---- control flow ----
+    /// Unconditional jump.
+    Goto(usize),
+    /// Compare two i32 operands and jump (JVM `if_icmp<cond>`).
+    IfICmp(Cmp, usize),
+    /// Compare top i32 against zero and jump (JVM `if<cond>`).
+    IfI(Cmp, usize),
+    /// Jump if the top reference is null.
+    IfNull(usize),
+    /// Jump if the top reference is non-null.
+    IfNonNull(usize),
+    /// Jump if the two top references are the same object (`if_acmpeq`).
+    IfACmpEq(usize),
+    /// Jump if the two top references differ (`if_acmpne`).
+    IfACmpNe(usize),
+
+    // ---- heap: objects ----
+    /// Allocate an instance of the named class (fields zeroed); no constructor
+    /// is run — pair with `InvokeSpecial` of `<init>` like JVM `new` + dup.
+    New(Arc<str>),
+    /// Read instance field `class.field`; stack: `.. obj` → `.. value`.
+    GetField(Arc<str>, Arc<str>),
+    /// Write instance field; stack: `.. obj value` → `..`.
+    PutField(Arc<str>, Arc<str>),
+    /// Read static field.
+    GetStatic(Arc<str>, Arc<str>),
+    /// Write static field; stack: `.. value` → `..`.
+    PutStatic(Arc<str>, Arc<str>),
+
+    // ---- heap: arrays ----
+    /// Allocate an array; stack: `.. len` → `.. arr`.
+    NewArray(ElemTy),
+    /// Load element; stack: `.. arr idx` → `.. value`.
+    ALoad(ElemTy),
+    /// Store element; stack: `.. arr idx value` → `..`.
+    AStore(ElemTy),
+    /// Array length; stack: `.. arr` → `.. len`.
+    ArrayLen,
+
+    // ---- invocation ----
+    /// Call a static method of the named class.
+    InvokeStatic(Arc<str>, crate::class::Sig),
+    /// Call a virtual method: dispatch on the runtime class of the receiver
+    /// (first argument). Stack: `.. obj args..` → `.. [ret]`.
+    InvokeVirtual(crate::class::Sig),
+    /// Non-virtual call on a named class: constructors (`<init>`) and
+    /// `super.m()` calls.
+    InvokeSpecial(Arc<str>, crate::class::Sig),
+    /// Return `void` from the current method.
+    Return,
+    /// Return the top-of-stack value.
+    ReturnVal,
+
+    // ---- synchronization ----
+    /// Acquire the monitor of the object on top of the stack (pops it).
+    MonitorEnter,
+    /// Release the monitor of the object on top of the stack (pops it).
+    MonitorExit,
+
+    /// No operation (padding; also used by the rewriter when erasing ops).
+    Nop,
+
+    // ---- DSM pseudo-instructions (emitted only by the JavaSplit rewriter) ----
+    /// Access check before a heap *read*: inspects the DSM state of the object
+    /// whose reference lives `depth` slots below the stack top (Figure 3 of
+    /// the paper: dup / getfield `__javasplit__state` / ifeq handler).
+    DsmCheckRead {
+        depth: u8,
+        kind: AccessKind,
+    },
+    /// Access check before a heap *write*: additionally twins the object on
+    /// first write after an invalidation (multiple-writer LRC).
+    DsmCheckWrite {
+        depth: u8,
+        kind: AccessKind,
+    },
+    /// Substituted `monitorenter`: routes through the DSM synchronization
+    /// handler (local-object lock counter fast path, §4.4).
+    DsmMonitorEnter,
+    /// Substituted `monitorexit`.
+    DsmMonitorExit,
+    /// Substituted `Thread.start()`: ships the thread object (top of stack,
+    /// popped) to a node chosen by the load-balancing function.
+    DsmSpawn,
+    /// Marks an acquire of the volatile-access pseudo-lock of the object at
+    /// `depth` (paper §3: volatile accesses are wrapped in acquire/release).
+    /// The interpreter remembers the object on a per-frame volatile stack so
+    /// the matching release finds it after the access consumed the reference.
+    DsmVolatileAcquire {
+        depth: u8,
+    },
+    /// Releases the object recorded by the innermost `DsmVolatileAcquire`.
+    DsmVolatileRelease,
+
+    // ---- quickened instructions (loader-resolved, like JVM `_quick` ops) ----
+    // Symbolic heap/call instructions are rewritten to these at load time so
+    // the interpreter dispatches on dense indices, never strings. They are
+    // not valid in builder/rewriter output.
+    /// Quickened `GetField`: direct field-slot index.
+    GetFieldQ { slot: u16, kind_cost: AccessKind },
+    /// Quickened `PutField`.
+    PutFieldQ { slot: u16, kind_cost: AccessKind },
+    /// Quickened `GetStatic`: class id + slot into that class's static area.
+    /// `free` marks the rewriter's constant `__javasplit__statics__` holder
+    /// reads, charged zero cost (their cost is folded into the access check
+    /// so Table 1 calibration holds).
+    GetStaticQ { class: crate::loader::ClassId, slot: u16, free: bool },
+    /// Quickened `PutStatic`.
+    PutStaticQ { class: crate::loader::ClassId, slot: u16 },
+    /// Quickened `New`.
+    NewQ(crate::loader::ClassId),
+    /// Quickened `InvokeStatic` / `InvokeSpecial`: direct method id.
+    InvokeStaticQ(crate::loader::MethodId),
+    InvokeSpecialQ(crate::loader::MethodId),
+    /// Quickened `InvokeVirtual`: vtable signature id + arg-slot count
+    /// (excluding receiver) + whether a value is returned.
+    InvokeVirtualQ { sig: crate::loader::SigId, nargs: u8, ret: bool },
+}
+
+impl Instr {
+    /// `true` for instructions that may transfer control to a non-sequential
+    /// program counter.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::Goto(_)
+                | Instr::IfICmp(..)
+                | Instr::IfI(..)
+                | Instr::IfNull(_)
+                | Instr::IfNonNull(_)
+                | Instr::IfACmpEq(_)
+                | Instr::IfACmpNe(_)
+        )
+    }
+
+    /// Branch target, if this is a branch.
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Instr::Goto(t)
+            | Instr::IfICmp(_, t)
+            | Instr::IfI(_, t)
+            | Instr::IfNull(t)
+            | Instr::IfNonNull(t)
+            | Instr::IfACmpEq(t)
+            | Instr::IfACmpNe(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target in place (used by the rewriter when it
+    /// splices access checks into a method body and shifts offsets).
+    pub fn set_branch_target(&mut self, new: usize) {
+        match self {
+            Instr::Goto(t)
+            | Instr::IfICmp(_, t)
+            | Instr::IfI(_, t)
+            | Instr::IfNull(t)
+            | Instr::IfNonNull(t)
+            | Instr::IfACmpEq(t)
+            | Instr::IfACmpNe(t) => *t = new,
+            _ => panic!("set_branch_target on non-branch {self:?}"),
+        }
+    }
+
+    /// `true` if this is one of the DSM pseudo-instructions injected by the
+    /// rewriter (they must never appear in original application bytecode).
+    pub fn is_dsm(&self) -> bool {
+        matches!(
+            self,
+            Instr::DsmCheckRead { .. }
+                | Instr::DsmCheckWrite { .. }
+                | Instr::DsmMonitorEnter
+                | Instr::DsmMonitorExit
+                | Instr::DsmSpawn
+                | Instr::DsmVolatileAcquire { .. }
+                | Instr::DsmVolatileRelease
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Lt.eval_i32(1, 2));
+        assert!(!Cmp::Lt.eval_i32(2, 2));
+        assert!(Cmp::Le.eval_i32(2, 2));
+        assert!(Cmp::Ne.eval_i32(1, 2));
+        assert!(Cmp::Ge.eval_i32(3, 2));
+        assert!(Cmp::Gt.eval_i32(3, 2));
+        assert!(Cmp::Eq.eval_i32(2, 2));
+    }
+
+    #[test]
+    fn branch_target_round_trip() {
+        let mut i = Instr::IfICmp(Cmp::Eq, 5);
+        assert!(i.is_branch());
+        assert_eq!(i.branch_target(), Some(5));
+        i.set_branch_target(9);
+        assert_eq!(i.branch_target(), Some(9));
+        assert_eq!(Instr::IAdd.branch_target(), None);
+    }
+
+    #[test]
+    fn dsm_classification() {
+        assert!(Instr::DsmMonitorEnter.is_dsm());
+        assert!(Instr::DsmCheckRead { depth: 0, kind: AccessKind::Field }.is_dsm());
+        assert!(!Instr::MonitorEnter.is_dsm());
+    }
+}

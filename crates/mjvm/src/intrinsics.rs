@@ -1,0 +1,317 @@
+//! Intrinsic ("native") methods.
+//!
+//! The paper's bootstrap classes with native methods cannot be rewritten
+//! automatically; JavaSplit ships manually written `javasplit` wrappers for
+//! the common ones (§4.1). MJVM mirrors the split: bootstrap classes declare
+//! `native` methods whose bodies resolve to a [`NativeOp`] here. *Pure*
+//! intrinsics (math, string ops, `arraycopy`) execute locally on any node;
+//! *environment-routed* ones (I/O, time, thread ops, wait/notify) are
+//! delegated to the [`crate::interp::VmEnv`], which in the distributed
+//! runtime forwards them per the paper's I/O-interception design.
+//!
+//! The rewriter keeps native methods native and renames their classes; the
+//! resolver therefore accepts both `java.lang.Math` and
+//! `javasplit.java.lang.Math` — the in-Rust analogue of the hand-written
+//! wrapper classes.
+
+use crate::class::Sig;
+use crate::cost::CostModel;
+use crate::heap::{Heap, ObjPayload, ObjRef};
+use crate::interp::VmError;
+use crate::loader::Image;
+use crate::value::Value;
+
+/// Every intrinsic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeOp {
+    // pure math
+    MathSqrt,
+    MathSin,
+    MathCos,
+    MathTan,
+    MathAtan,
+    MathPow,
+    MathExp,
+    MathLog,
+    MathAbsD,
+    MathAbsI,
+    MathFloor,
+    MathCeil,
+    MathMinI,
+    MathMaxI,
+    // pure object/array
+    HashCode,
+    RefEq,
+    ArrayCopy,
+    // pure strings
+    StrLen,
+    StrCharAt,
+    StrConcat,
+    StrFromI32,
+    StrFromI64,
+    StrFromF64,
+    StrEquals,
+    // env-routed console
+    PrintlnStr,
+    PrintlnI32,
+    PrintlnI64,
+    PrintlnF64,
+    CurrentTimeMillis,
+    // env-routed threads
+    ThreadStart,
+    ThreadSleep,
+    ThreadCurrent,
+    ThreadYield,
+    // env-routed monitors
+    ObjWait,
+    ObjNotify,
+    ObjNotifyAll,
+    // env-routed virtual file service
+    FileOpen,
+    FileWriteLine,
+    FileReadLine,
+    FileClose,
+}
+
+impl NativeOp {
+    /// Resolve a native method declaration to its intrinsic. Accepts the
+    /// original bootstrap class name or its `javasplit.`-renamed wrapper.
+    pub fn resolve(class: &str, sig: &Sig) -> Option<NativeOp> {
+        let class = class.strip_prefix("javasplit.").unwrap_or(class);
+        use NativeOp::*;
+        Some(match (class, &*sig.name) {
+            ("java.lang.Math", "sqrt") => MathSqrt,
+            ("java.lang.Math", "sin") => MathSin,
+            ("java.lang.Math", "cos") => MathCos,
+            ("java.lang.Math", "tan") => MathTan,
+            ("java.lang.Math", "atan") => MathAtan,
+            ("java.lang.Math", "pow") => MathPow,
+            ("java.lang.Math", "exp") => MathExp,
+            ("java.lang.Math", "log") => MathLog,
+            ("java.lang.Math", "abs") => MathAbsD,
+            ("java.lang.Math", "absI") => MathAbsI,
+            ("java.lang.Math", "floor") => MathFloor,
+            ("java.lang.Math", "ceil") => MathCeil,
+            ("java.lang.Math", "minI") => MathMinI,
+            ("java.lang.Math", "maxI") => MathMaxI,
+            ("java.lang.Object", "hashCode") => HashCode,
+            ("java.lang.Object", "equals") => RefEq,
+            ("java.lang.Object", "wait") => ObjWait,
+            ("java.lang.Object", "notify") => ObjNotify,
+            ("java.lang.Object", "notifyAll") => ObjNotifyAll,
+            ("java.lang.System", "arraycopy") => ArrayCopy,
+            ("java.lang.System", "currentTimeMillis") => CurrentTimeMillis,
+            ("java.lang.System", "println") => PrintlnStr,
+            ("java.lang.System", "printlnI") => PrintlnI32,
+            ("java.lang.System", "printlnJ") => PrintlnI64,
+            ("java.lang.System", "printlnD") => PrintlnF64,
+            ("java.lang.String", "length") => StrLen,
+            ("java.lang.String", "charAt") => StrCharAt,
+            ("java.lang.String", "concat") => StrConcat,
+            ("java.lang.String", "valueOfI") => StrFromI32,
+            ("java.lang.String", "valueOfJ") => StrFromI64,
+            ("java.lang.String", "valueOfD") => StrFromF64,
+            ("java.lang.String", "equals") => StrEquals,
+            ("java.lang.Thread", "start0") => ThreadStart,
+            ("java.lang.Thread", "sleep") => ThreadSleep,
+            ("java.lang.Thread", "currentThread") => ThreadCurrent,
+            ("java.lang.Thread", "yield") => ThreadYield,
+            ("java.io.VFile", "open") => FileOpen,
+            ("java.io.VFile", "writeLine") => FileWriteLine,
+            ("java.io.VFile", "readLine") => FileReadLine,
+            ("java.io.VFile", "close") => FileClose,
+            _ => return None,
+        })
+    }
+}
+
+/// Execute a pure intrinsic. Returns `(return value, virtual-time cost)`.
+/// `args[0]` is the receiver for instance natives.
+pub fn exec_pure(
+    op: NativeOp,
+    args: &[Value],
+    heap: &mut Heap,
+    image: &Image,
+    model: &CostModel,
+) -> Result<(Option<Value>, u64), VmError> {
+    use NativeOp::*;
+    let m = model.math_op;
+    let mut cost = m;
+    let ret = match op {
+        MathSqrt => Some(Value::F64(args[0].as_f64().sqrt())),
+        MathSin => Some(Value::F64(args[0].as_f64().sin())),
+        MathCos => Some(Value::F64(args[0].as_f64().cos())),
+        MathTan => Some(Value::F64(args[0].as_f64().tan())),
+        MathAtan => Some(Value::F64(args[0].as_f64().atan())),
+        MathPow => Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))),
+        MathExp => Some(Value::F64(args[0].as_f64().exp())),
+        MathLog => Some(Value::F64(args[0].as_f64().ln())),
+        MathAbsD => Some(Value::F64(args[0].as_f64().abs())),
+        MathAbsI => Some(Value::I32(args[0].as_i32().wrapping_abs())),
+        MathFloor => Some(Value::F64(args[0].as_f64().floor())),
+        MathCeil => Some(Value::F64(args[0].as_f64().ceil())),
+        MathMinI => Some(Value::I32(args[0].as_i32().min(args[1].as_i32()))),
+        MathMaxI => Some(Value::I32(args[0].as_i32().max(args[1].as_i32()))),
+
+        HashCode => {
+            cost = model.generic_op * 4;
+            let r = args[0].as_opt_ref().ok_or(VmError::NullDeref {
+                method: "Object.hashCode".into(),
+                pc: 0,
+            })?;
+            // Identity hash: stable per object within a node, like the JVM's
+            // default identity hash code.
+            Some(Value::I32((r.0 as i32).wrapping_mul(0x9E37_79B9u32 as i32)))
+        }
+        RefEq => {
+            cost = model.generic_op * 2;
+            Some(Value::from(args[0] == args[1]))
+        }
+        ArrayCopy => {
+            let src = args[0].as_opt_ref().ok_or(VmError::NullDeref {
+                method: "System.arraycopy".into(),
+                pc: 0,
+            })?;
+            let src_pos = args[1].as_i32();
+            let dst = args[2].as_opt_ref().ok_or(VmError::NullDeref {
+                method: "System.arraycopy".into(),
+                pc: 0,
+            })?;
+            let dst_pos = args[3].as_i32();
+            let len = args[4].as_i32();
+            cost = model.generic_op * 2 + model.alloc_per_byte * (len.max(0) as u64 * 8);
+            array_copy(heap, src, src_pos, dst, dst_pos, len)?;
+            None
+        }
+
+        StrLen => {
+            cost = model.generic_op * 2;
+            let s = heap.str_of(args[0].as_ref());
+            Some(Value::I32(s.chars().count() as i32))
+        }
+        StrCharAt => {
+            cost = model.generic_op * 3;
+            let s = heap.str_of(args[0].as_ref()).clone();
+            let i = args[1].as_i32();
+            let c = s
+                .chars()
+                .nth(i.max(0) as usize)
+                .ok_or(VmError::IndexOutOfBounds { len: s.chars().count(), idx: i as i64 })?;
+            Some(Value::I32(c as i32))
+        }
+        StrConcat => {
+            let a = heap.str_of(args[0].as_ref()).clone();
+            let b = heap.str_of(args[1].as_ref()).clone();
+            cost = model.alloc + model.alloc_per_byte * (a.len() + b.len()) as u64;
+            let joined: std::sync::Arc<str> = format!("{a}{b}").into();
+            let r = heap.alloc_str(image.string_class, joined);
+            Some(Value::Ref(r))
+        }
+        StrFromI32 => {
+            cost = model.alloc;
+            let r = heap.alloc_str(image.string_class, args[0].as_i32().to_string().into());
+            Some(Value::Ref(r))
+        }
+        StrFromI64 => {
+            cost = model.alloc;
+            let r = heap.alloc_str(image.string_class, args[0].as_i64().to_string().into());
+            Some(Value::Ref(r))
+        }
+        StrFromF64 => {
+            cost = model.alloc;
+            let r = heap.alloc_str(image.string_class, format!("{:?}", args[0].as_f64()).into());
+            Some(Value::Ref(r))
+        }
+        StrEquals => {
+            cost = model.generic_op * 4;
+            let a = heap.str_of(args[0].as_ref());
+            let eq = match args[1].as_opt_ref() {
+                Some(b) => match &heap.get(b).payload {
+                    ObjPayload::Str(bs) => a == bs,
+                    _ => false,
+                },
+                None => false,
+            };
+            Some(Value::from(eq))
+        }
+
+        other => panic!("exec_pure called with env-routed op {other:?}"),
+    };
+    Ok((ret, cost))
+}
+
+fn array_copy(heap: &mut Heap, src: ObjRef, src_pos: i32, dst: ObjRef, dst_pos: i32, len: i32) -> Result<(), VmError> {
+    if len < 0 || src_pos < 0 || dst_pos < 0 {
+        return Err(VmError::IndexOutOfBounds { len: 0, idx: len.min(src_pos).min(dst_pos) as i64 });
+    }
+    let (sp, dp, n) = (src_pos as usize, dst_pos as usize, len as usize);
+    let check = |l: usize, p: usize| {
+        if p + n > l {
+            Err(VmError::IndexOutOfBounds { len: l, idx: (p + n) as i64 })
+        } else {
+            Ok(())
+        }
+    };
+    // Clone the source slice first (src and dst may be the same object).
+    let slice = match &heap.get(src).payload {
+        ObjPayload::ArrI32(v) => {
+            check(v.len(), sp)?;
+            ObjPayload::ArrI32(v[sp..sp + n].to_vec())
+        }
+        ObjPayload::ArrI64(v) => {
+            check(v.len(), sp)?;
+            ObjPayload::ArrI64(v[sp..sp + n].to_vec())
+        }
+        ObjPayload::ArrF64(v) => {
+            check(v.len(), sp)?;
+            ObjPayload::ArrF64(v[sp..sp + n].to_vec())
+        }
+        ObjPayload::ArrRef(v) => {
+            check(v.len(), sp)?;
+            ObjPayload::ArrRef(v[sp..sp + n].to_vec())
+        }
+        _ => return Err(VmError::TypeMismatch("arraycopy on non-array".into())),
+    };
+    match (&mut heap.get_mut(dst).payload, slice) {
+        (ObjPayload::ArrI32(d), ObjPayload::ArrI32(s)) => {
+            check(d.len(), dp)?;
+            d[dp..dp + n].copy_from_slice(&s);
+        }
+        (ObjPayload::ArrI64(d), ObjPayload::ArrI64(s)) => {
+            check(d.len(), dp)?;
+            d[dp..dp + n].copy_from_slice(&s);
+        }
+        (ObjPayload::ArrF64(d), ObjPayload::ArrF64(s)) => {
+            check(d.len(), dp)?;
+            d[dp..dp + n].copy_from_slice(&s);
+        }
+        (ObjPayload::ArrRef(d), ObjPayload::ArrRef(s)) => {
+            check(d.len(), dp)?;
+            d[dp..dp + n].clone_from_slice(&s);
+        }
+        _ => return Err(VmError::TypeMismatch("arraycopy element type mismatch".into())),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Ty;
+
+    #[test]
+    fn resolve_accepts_javasplit_prefix() {
+        let sig = Sig::new("sqrt", &[Ty::F64], Some(Ty::F64));
+        assert_eq!(NativeOp::resolve("java.lang.Math", &sig), Some(NativeOp::MathSqrt));
+        assert_eq!(NativeOp::resolve("javasplit.java.lang.Math", &sig), Some(NativeOp::MathSqrt));
+        assert_eq!(NativeOp::resolve("user.Class", &sig), None);
+    }
+
+    #[test]
+    fn string_equals_distinguishes_payloads() {
+        let sig = Sig::new("equals", &[Ty::Ref], Some(Ty::I32));
+        assert_eq!(NativeOp::resolve("java.lang.String", &sig), Some(NativeOp::StrEquals));
+        // Object.equals stays reference equality.
+        assert_eq!(NativeOp::resolve("java.lang.Object", &sig), Some(NativeOp::RefEq));
+    }
+}

@@ -1,0 +1,157 @@
+//! Runtime values held on the operand stack, in locals and in object fields.
+//!
+//! Like the JVM, small integer types (boolean/byte/char/short) are widened to
+//! `I32` on the stack; unlike the JVM we drop `float` and keep only `double`
+//! (`F64`) to halve the floating-point opcode surface — none of the paper's
+//! benchmarks use `float`.
+
+use crate::heap::ObjRef;
+
+/// A single stack/local/field slot value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer (also boolean/char as in the JVM).
+    I32(i32),
+    /// 64-bit signed integer (`long`).
+    I64(i64),
+    /// 64-bit IEEE float (`double`).
+    F64(f64),
+    /// Reference to a heap object (object, array or string).
+    Ref(ObjRef),
+    /// The `null` reference.
+    Null,
+}
+
+impl Value {
+    /// Unwrap an `I32`, panicking with a diagnostic otherwise.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected I32, found {other:?}"),
+        }
+    }
+
+    /// Unwrap an `I64`.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected I64, found {other:?}"),
+        }
+    }
+
+    /// Unwrap an `F64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected F64, found {other:?}"),
+        }
+    }
+
+    /// Unwrap a non-null reference.
+    #[inline]
+    pub fn as_ref(self) -> ObjRef {
+        match self {
+            Value::Ref(r) => r,
+            other => panic!("expected Ref, found {other:?}"),
+        }
+    }
+
+    /// Reference or `None` for `Null`. Panics on non-reference values.
+    #[inline]
+    pub fn as_opt_ref(self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(r),
+            Value::Null => None,
+            other => panic!("expected Ref/Null, found {other:?}"),
+        }
+    }
+
+    /// `true` if this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Default (zero) value for a declared type, as the JVM zero-initialises
+    /// fields and array elements.
+    #[inline]
+    pub fn zero_of(ty: crate::instr::Ty) -> Value {
+        match ty {
+            crate::instr::Ty::I32 => Value::I32(0),
+            crate::instr::Ty::I64 => Value::I64(0),
+            crate::instr::Ty::F64 => Value::F64(0.0),
+            crate::instr::Ty::Ref => Value::Null,
+        }
+    }
+
+    /// The declared type this value inhabits.
+    #[inline]
+    pub fn ty(self) -> crate::instr::Ty {
+        match self {
+            Value::I32(_) => crate::instr::Ty::I32,
+            Value::I64(_) => crate::instr::Ty::I64,
+            Value::F64(_) => crate::instr::Ty::F64,
+            Value::Ref(_) | Value::Null => crate::instr::Ty::Ref,
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::I32(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Ty;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(Ty::I32), Value::I32(0));
+        assert_eq!(Value::zero_of(Ty::I64), Value::I64(0));
+        assert_eq!(Value::zero_of(Ty::F64), Value::F64(0.0));
+        assert_eq!(Value::zero_of(Ty::Ref), Value::Null);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::from(7).as_i32(), 7);
+        assert_eq!(Value::from(7i64).as_i64(), 7);
+        assert_eq!(Value::from(1.5).as_f64(), 1.5);
+        assert_eq!(Value::from(true).as_i32(), 1);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_opt_ref(), None);
+    }
+
+    #[test]
+    fn ty_of_values() {
+        assert_eq!(Value::I32(3).ty(), Ty::I32);
+        assert_eq!(Value::Null.ty(), Ty::Ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I32")]
+    fn wrong_accessor_panics() {
+        Value::F64(1.0).as_i32();
+    }
+}

@@ -1,0 +1,278 @@
+//! Instruction-semantics tests: each MJVM opcode against the equivalent Rust
+//! computation, including the JVM's wrapping/truncating edge cases, plus a
+//! property test running randomly generated straight-line arithmetic through
+//! the interpreter against a Rust oracle.
+
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+use jsplit_mjvm::localvm::run_program;
+use proptest::prelude::*;
+
+fn run_main(f: impl FnOnce(&mut jsplit_mjvm::builder::MethodBuilder)) -> Vec<String> {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, f);
+    });
+    let r = run_program(&pb.build_with_stdlib());
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    r.output
+}
+
+#[test]
+fn integer_arithmetic_wraps_like_the_jvm() {
+    let out = run_main(|m| {
+        m.const_i32(i32::MAX).const_i32(1).iadd().println_i32();
+        m.const_i32(i32::MIN).const_i32(1).isub().println_i32();
+        m.const_i32(i32::MIN).const_i32(-1).idiv().println_i32(); // JVM: wraps to MIN
+        m.const_i32(-7).const_i32(2).irem().println_i32();
+        m.const_i32(i32::MIN).ineg().println_i32();
+        m.ret();
+    });
+    assert_eq!(
+        out,
+        vec![
+            i32::MIN.to_string(),
+            i32::MAX.to_string(),
+            i32::MIN.to_string(),
+            "-1".to_string(),
+            i32::MIN.to_string(),
+        ]
+    );
+}
+
+#[test]
+fn shifts_mask_the_count() {
+    let out = run_main(|m| {
+        m.const_i32(1).const_i32(33).ishl().println_i32(); // 1 << (33 & 31) = 2
+        m.const_i32(-8).const_i32(1).ishr().println_i32(); // arithmetic
+        m.const_i32(-8).const_i32(1).iushr().println_i32(); // logical
+        m.ret();
+    });
+    assert_eq!(out, vec!["2".to_string(), "-4".into(), (((-8i32) as u32 >> 1) as i32).to_string()]);
+}
+
+#[test]
+fn long_arithmetic_and_lcmp() {
+    let out = run_main(|m| {
+        m.const_i64(i64::MAX).const_i64(1).ladd().println_i64();
+        m.const_i64(10).const_i64(3).ldiv().println_i64();
+        m.const_i64(-10).const_i64(3).lrem().println_i64();
+        m.const_i64(5).const_i64(7).lcmp().println_i32();
+        m.const_i64(7).const_i64(7).lcmp().println_i32();
+        m.const_i64(9).const_i64(7).lcmp().println_i32();
+        m.ret();
+    });
+    assert_eq!(out, vec![i64::MIN.to_string(), "3".into(), "-1".into(), "-1".into(), "0".into(), "1".into()]);
+}
+
+#[test]
+fn double_conversions_truncate() {
+    let out = run_main(|m| {
+        m.const_f64(2.9).d2i().println_i32();
+        m.const_f64(-2.9).d2i().println_i32();
+        m.const_f64(1e18).d2l().println_i64();
+        m.const_i32(-3).i2d().const_f64(0.5).dmul().println_f64();
+        m.const_i64(1).i64_to_d().println_f64();
+        m.ret();
+    });
+    assert_eq!(out, vec!["2".to_string(), "-2".into(), (1e18 as i64).to_string(), "-1.5".into(), "1.0".into()]);
+}
+
+// helper: L2D via the builder
+trait L2DExt {
+    fn i64_to_d(&mut self) -> &mut Self;
+}
+impl L2DExt for jsplit_mjvm::builder::MethodBuilder {
+    fn i64_to_d(&mut self) -> &mut Self {
+        self.l2d()
+    }
+}
+
+#[test]
+fn stack_shuffles() {
+    // dup_x1: ..a b -> ..b a b ; swap: ..a b -> ..b a
+    let out = run_main(|m| {
+        m.const_i32(1).const_i32(2).dup_x1();
+        // stack: 2 1 2 -> print in pop order
+        m.println_i32().println_i32().println_i32();
+        m.const_i32(3).const_i32(4).swap();
+        m.println_i32().println_i32();
+        m.ret();
+    });
+    assert_eq!(out, vec!["2", "1", "2", "3", "4"]);
+}
+
+#[test]
+fn reference_comparisons() {
+    let out = run_main(|m| {
+        let eq = m.new_label();
+        let done = m.new_label();
+        m.construct("java.lang.Object", &[], |_| {}).store(0);
+        m.load(0).load(0).if_acmp_eq(eq);
+        m.const_i32(0).println_i32().goto(done);
+        m.bind(eq).const_i32(1).println_i32();
+        m.bind(done);
+        // different objects are not acmp-equal
+        let ne = m.new_label();
+        let done2 = m.new_label();
+        m.construct("java.lang.Object", &[], |_| {});
+        m.construct("java.lang.Object", &[], |_| {});
+        m.if_acmp_ne(ne);
+        m.const_i32(0).println_i32().goto(done2);
+        m.bind(ne).const_i32(1).println_i32();
+        m.bind(done2).ret();
+    });
+    assert_eq!(out, vec!["1", "1"]);
+}
+
+#[test]
+fn arraycopy_overlapping_and_oob() {
+    let out = run_main(|m| {
+        m.const_i32(5).newarray(ElemTy::I32).store(0);
+        for i in 0..5 {
+            m.load(0).const_i32(i).const_i32(i * 10).astore(ElemTy::I32);
+        }
+        // overlapping self-copy [0..3] -> [1..4]
+        m.load(0).const_i32(0).load(0).const_i32(1).const_i32(3).invokestatic(
+            "java.lang.System",
+            "arraycopy",
+            &[Ty::Ref, Ty::I32, Ty::Ref, Ty::I32, Ty::I32],
+            None,
+        );
+        for i in 0..5 {
+            m.load(0).const_i32(i).aload(ElemTy::I32).println_i32();
+        }
+        m.ret();
+    });
+    assert_eq!(out, vec!["0", "0", "10", "20", "40"]);
+}
+
+#[test]
+fn array_bounds_trap() {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, |m| {
+            m.const_i32(2).newarray(ElemTy::I32).const_i32(5).aload(ElemTy::I32).println_i32().ret();
+        });
+    });
+    let r = run_program(&pb.build_with_stdlib());
+    assert_eq!(r.errors.len(), 1);
+    assert!(matches!(r.errors[0].1, jsplit_mjvm::interp::VmError::IndexOutOfBounds { len: 2, idx: 5 }));
+}
+
+#[test]
+fn null_dereference_traps() {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("A", "java.lang.Object", |cb| {
+        cb.field("x", Ty::I32);
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, |m| {
+            m.const_null().getfield("A", "x").println_i32().ret();
+        });
+    });
+    let r = run_program(&pb.build_with_stdlib());
+    assert!(matches!(r.errors[0].1, jsplit_mjvm::interp::VmError::NullDeref { .. }));
+}
+
+#[test]
+fn string_natives() {
+    let out = run_main(|m| {
+        m.ldc_str("abc").invokevirtual("length", &[], Some(Ty::I32)).println_i32();
+        m.ldc_str("abc").const_i32(1).invokevirtual("charAt", &[Ty::I32], Some(Ty::I32)).println_i32();
+        m.ldc_str("ab").ldc_str("cd").invokevirtual("concat", &[Ty::Ref], Some(Ty::Ref)).println_str();
+        m.ldc_str("x").ldc_str("x").invokevirtual("equals", &[Ty::Ref], Some(Ty::I32)).println_i32();
+        m.ldc_str("x").ldc_str("y").invokevirtual("equals", &[Ty::Ref], Some(Ty::I32)).println_i32();
+        m.ret();
+    });
+    assert_eq!(out, vec!["3".to_string(), ('b' as i32).to_string(), "abcd".into(), "1".into(), "0".into()]);
+}
+
+#[test]
+fn recursion_works() {
+    // fib(15) via recursion exercises frame push/pop deeply.
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("fib", &[Ty::I32], Some(Ty::I32), |m| {
+            let rec = m.new_label();
+            m.load(0).const_i32(2).if_icmp(Cmp::Ge, rec);
+            m.load(0).ret_val();
+            m.bind(rec);
+            m.load(0).const_i32(1).isub().invokestatic("M", "fib", &[Ty::I32], Some(Ty::I32));
+            m.load(0).const_i32(2).isub().invokestatic("M", "fib", &[Ty::I32], Some(Ty::I32));
+            m.iadd().ret_val();
+        });
+        cb.static_method("main", &[], None, |m| {
+            m.const_i32(15).invokestatic("M", "fib", &[Ty::I32], Some(Ty::I32)).println_i32().ret();
+        });
+    });
+    let r = run_program(&pb.build_with_stdlib());
+    assert_eq!(r.output, vec!["610"]);
+}
+
+/// Straight-line i32 expression oracle.
+#[derive(Debug, Clone)]
+enum AOp {
+    Add(i32),
+    Sub(i32),
+    Mul(i32),
+    Xor(i32),
+    Shl(u8),
+    Neg,
+}
+
+fn apply(acc: i32, op: &AOp) -> i32 {
+    match op {
+        AOp::Add(k) => acc.wrapping_add(*k),
+        AOp::Sub(k) => acc.wrapping_sub(*k),
+        AOp::Mul(k) => acc.wrapping_mul(*k),
+        AOp::Xor(k) => acc ^ k,
+        AOp::Shl(s) => acc.wrapping_shl(*s as u32 & 31),
+        AOp::Neg => acc.wrapping_neg(),
+    }
+}
+
+fn aop() -> impl Strategy<Value = AOp> {
+    prop_oneof![
+        any::<i32>().prop_map(AOp::Add),
+        any::<i32>().prop_map(AOp::Sub),
+        any::<i32>().prop_map(AOp::Mul),
+        any::<i32>().prop_map(AOp::Xor),
+        (0u8..40).prop_map(AOp::Shl),
+        Just(AOp::Neg),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_arithmetic_matches_rust(seed in any::<i32>(), ops in proptest::collection::vec(aop(), 0..24)) {
+        let expected = ops.iter().fold(seed, apply).to_string();
+        let program: Program = {
+            let mut pb = ProgramBuilder::new("M");
+            let ops = ops.clone();
+            pb.class("M", "java.lang.Object", |cb| {
+                cb.static_method("main", &[], None, move |m| {
+                    m.const_i32(seed);
+                    for op in &ops {
+                        match op {
+                            AOp::Add(k) => { m.const_i32(*k).iadd(); }
+                            AOp::Sub(k) => { m.const_i32(*k).isub(); }
+                            AOp::Mul(k) => { m.const_i32(*k).imul(); }
+                            AOp::Xor(k) => { m.const_i32(*k).ixor(); }
+                            AOp::Shl(s) => { m.const_i32(*s as i32).ishl(); }
+                            AOp::Neg => { m.ineg(); }
+                        }
+                    }
+                    m.println_i32().ret();
+                });
+            });
+            pb.build_with_stdlib()
+        };
+        let r = run_program(&program);
+        prop_assert!(r.errors.is_empty());
+        prop_assert_eq!(&r.output, &vec![expected]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # jsplit-net — simulated IP network and the custom wire codec
+//!
+//! The paper runs over "standard IP-based communication" through the Java
+//! socket interface (paper §2); the reproduction substitutes a simulated
+//! network whose per-message latency is calibrated from the paper's Table 3:
+//! `latency = base(sender JVM) + size · per_byte`, where the base term is the
+//! (JVM-brand-dependent) socket-stack overhead and the per-byte term the
+//! 100 Mbit/s wire. Links are FIFO and loss-free, like TCP over a quiet LAN.
+//!
+//! The codec implements the paper's custom fast serialization (paper §2
+//! rejects `java.io` serialization): flat little-endian primitives, no deep
+//! copy — object references travel as 64-bit global ids.
+
+pub mod codec;
+pub mod sim;
+pub mod stats;
+
+pub use codec::{Reader, Writer};
+pub use sim::{LinkParams, Network, NodeId};
+pub use stats::{MsgKind, NetStats};

@@ -1,0 +1,181 @@
+//! The latency/FIFO model of the simulated IP network.
+//!
+//! [`Network::send`] computes when a message of a given size, sent now,
+//! arrives at its destination. The discrete-event scheduler in the runtime
+//! owns the actual event queue; the network owns timing and statistics —
+//! the same split as a socket library beneath an event loop.
+
+use crate::stats::{MsgKind, NetStats};
+use std::collections::HashMap;
+
+/// A worker-node identifier (also used as the home field of global ids).
+pub type NodeId = u16;
+
+/// Per-node link parameters, in nanoseconds (from the node's JVM profile —
+/// Table 3 shows the socket stack overhead differs by JVM brand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Per-message base latency (socket stack + wire setup).
+    pub base_ns: u64,
+    /// Per-byte latency (≈ 88–91 ns/B on the paper's 100 Mbit Ethernet).
+    pub per_byte_ns: u64,
+}
+
+impl LinkParams {
+    /// One-way latency in picoseconds for a message of `bytes`.
+    pub fn latency_ps(&self, bytes: usize) -> u64 {
+        (self.base_ns + self.per_byte_ns * bytes as u64) * 1_000
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    links: Vec<LinkParams>,
+    /// FIFO guarantee per (src,dst): delivery times never reorder.
+    last_delivery: HashMap<(NodeId, NodeId), u64>,
+    pub stats: Vec<NetStats>,
+}
+
+impl Network {
+    /// One entry per node, in node-id order.
+    pub fn new(links: Vec<LinkParams>) -> Network {
+        let n = links.len();
+        Network { links, last_delivery: HashMap::new(), stats: vec![NetStats::default(); n] }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Register a node that joined mid-execution (paper §2: "new workers can
+    /// join the system").
+    pub fn add_node(&mut self, link: LinkParams) -> NodeId {
+        self.links.push(link);
+        self.stats.push(NetStats::default());
+        (self.links.len() - 1) as NodeId
+    }
+
+    /// Compute the delivery time (ps) of a `bytes`-sized message sent at
+    /// `now_ps` from `src` to `dst`, updating FIFO state and statistics.
+    /// Self-sends are loopback: small fixed cost, no wire.
+    pub fn send(&mut self, now_ps: u64, src: NodeId, dst: NodeId, bytes: usize, kind: MsgKind) -> u64 {
+        self.stats[src as usize].record_send(dst, bytes, kind);
+        self.stats[dst as usize].record_recv(bytes, kind);
+        let raw = if src == dst {
+            now_ps + 1_000_000 // 1 µs loopback
+        } else {
+            now_ps + self.links[src as usize].latency_ps(bytes)
+        };
+        let slot = self.last_delivery.entry((src, dst)).or_insert(0);
+        let t = raw.max(*slot + 1); // strictly increasing per link = FIFO
+        *slot = t;
+        t
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Total bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sun_link() -> LinkParams {
+        // Table 3 Sun column fit.
+        LinkParams { base_ns: 636_400, per_byte_ns: 88 }
+    }
+
+    fn ibm_link() -> LinkParams {
+        LinkParams { base_ns: 85_800, per_byte_ns: 91 }
+    }
+
+    #[test]
+    fn table3_latencies_reproduced() {
+        // Paper Table 3 (ms): Sun 0.6421/0.6511/0.9966/6.3694,
+        //                     IBM 0.0917/0.1963/0.8125/5.9984.
+        let cases = [
+            (sun_link(), 65, 0.6421),
+            (sun_link(), 650, 0.6511),
+            (sun_link(), 6_500, 0.9966),
+            (sun_link(), 65_000, 6.3694),
+            (ibm_link(), 65, 0.0917),
+            (ibm_link(), 650, 0.1963),
+            (ibm_link(), 6_500, 0.8125),
+            (ibm_link(), 65_000, 5.9984),
+        ];
+        for (link, bytes, paper_ms) in cases {
+            let ms = link.latency_ps(bytes) as f64 / 1e9;
+            let rel = (ms - paper_ms).abs() / paper_ms;
+            assert!(rel < 0.35, "{bytes} B: model {ms:.4} ms vs paper {paper_ms} ms");
+        }
+    }
+
+    #[test]
+    fn fifo_per_link() {
+        let mut net = Network::new(vec![sun_link(), sun_link()]);
+        // A big message sent first must not be overtaken by a small one.
+        let t1 = net.send(0, 0, 1, 65_000, MsgKind::ObjState);
+        let t2 = net.send(1, 0, 1, 10, MsgKind::LockReq);
+        assert!(t2 > t1, "FIFO violated: {t2} <= {t1}");
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut net = Network::new(vec![sun_link()]);
+        let t = net.send(0, 0, 0, 65_000, MsgKind::ObjState);
+        assert!(t < sun_link().latency_ps(65_000));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = Network::new(vec![sun_link(), ibm_link()]);
+        net.send(0, 0, 1, 100, MsgKind::LockReq);
+        net.send(0, 1, 0, 200, MsgKind::LockGrant);
+        assert_eq!(net.total_messages(), 2);
+        assert_eq!(net.total_bytes(), 300);
+        assert_eq!(net.stats[0].msgs_sent, 1);
+        assert_eq!(net.stats[0].msgs_recv, 1);
+        assert_eq!(net.stats[1].bytes_sent, 200);
+    }
+
+    #[test]
+    fn fifo_property_over_random_sequences() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &proptest::collection::vec((0u64..1_000_000, 1usize..70_000), 1..60),
+                |sends| {
+                    let mut net = Network::new(vec![sun_link(), ibm_link()]);
+                    let mut now = 0u64;
+                    let mut last = 0u64;
+                    for (dt, bytes) in sends {
+                        now += dt;
+                        let t = net.send(now, 0, 1, bytes, MsgKind::Diff);
+                        prop_assert!(t > now, "delivery after send");
+                        prop_assert!(t > last, "FIFO per link");
+                        last = t;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn join_mid_run() {
+        let mut net = Network::new(vec![sun_link()]);
+        let id = net.add_node(ibm_link());
+        assert_eq!(id, 1);
+        assert_eq!(net.nodes(), 2);
+        net.send(0, 0, 1, 10, MsgKind::Control);
+    }
+}

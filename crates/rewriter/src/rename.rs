@@ -1,0 +1,97 @@
+//! Class renaming into the parallel `javasplit.*` hierarchy (paper §4).
+//!
+//! "For each original class mypackage.MyClass, it produces a rewritten
+//! version javasplit.mypackage.MyClass. [...] In a rewritten class, all
+//! referenced class names are replaced with the new, javasplit names.
+//! Therefore, during the distributed execution, the runtime uses only the
+//! javasplit classes, never using the originals."
+
+use crate::JS_PREFIX;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::Instr;
+use std::sync::Arc;
+
+/// Map a class name into the `javasplit` package (idempotent).
+pub fn js_name(name: &str) -> Arc<str> {
+    if name.starts_with(JS_PREFIX) {
+        name.into()
+    } else {
+        format!("{JS_PREFIX}{name}").into()
+    }
+}
+
+/// Rename every class (including bootstrap classes) and every reference.
+pub fn rename_program(program: &mut Program, stats: &mut crate::pipeline::RewriteStats) {
+    for c in &mut program.classes {
+        stats.classes_renamed += 1;
+        c.name = js_name(&c.name);
+        if let Some(s) = &c.super_name {
+            c.super_name = Some(js_name(s));
+        }
+        for m in &mut c.methods {
+            for ins in &mut m.code {
+                match ins {
+                    Instr::New(n) => *n = js_name(n),
+                    Instr::GetField(n, _)
+                    | Instr::PutField(n, _)
+                    | Instr::GetStatic(n, _)
+                    | Instr::PutStatic(n, _)
+                    | Instr::InvokeStatic(n, _)
+                    | Instr::InvokeSpecial(n, _) => *n = js_name(n),
+                    _ => {}
+                }
+            }
+        }
+    }
+    program.main_class = js_name(&program.main_class);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::builder::ProgramBuilder;
+    use jsplit_mjvm::instr::Ty;
+
+    #[test]
+    fn js_name_idempotent() {
+        assert_eq!(&*js_name("a.B"), "javasplit.a.B");
+        assert_eq!(&*js_name("javasplit.a.B"), "javasplit.a.B");
+    }
+
+    #[test]
+    fn all_references_renamed() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("A", "java.lang.Object", |cb| {
+            cb.field("x", Ty::I32);
+            cb.default_ctor("java.lang.Object");
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.construct("A", &[], |_| {})
+                    .getfield("A", "x")
+                    .println_i32()
+                    .ret();
+            });
+        });
+        let mut p = pb.build_with_stdlib();
+        let mut stats = crate::pipeline::RewriteStats::default();
+        rename_program(&mut p, &mut stats);
+        assert_eq!(&*p.main_class, "javasplit.M");
+        assert!(p.class("javasplit.A").is_some());
+        assert!(p.class("A").is_none());
+        let code = &p.class("javasplit.M").unwrap().method("main").unwrap().code;
+        assert!(code.iter().any(|i| matches!(i, Instr::New(n) if &**n == "javasplit.A")));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::GetField(n, _) if &**n == "javasplit.A")));
+        assert!(code.iter().any(
+            |i| matches!(i, Instr::InvokeStatic(n, _) if &**n == "javasplit.java.lang.System")
+        ));
+        // Superclass names updated too.
+        assert_eq!(
+            p.class("javasplit.A").unwrap().super_name.as_deref(),
+            Some("javasplit.java.lang.Object")
+        );
+        assert!(stats.classes_renamed > 2);
+    }
+}

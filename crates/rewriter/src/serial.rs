@@ -1,0 +1,165 @@
+//! Per-class serializer generation (paper §2, §4; Figure 2).
+//!
+//! JavaSplit rejects `java.io` serialization as too slow and too general and
+//! instead augments each rewritten class with generated, class-specific
+//! `DSM_serialize` / `DSM_deserialize` / `DSM_diff` utility methods. The MJVM
+//! analogue is a [`ClassSerializer`] descriptor per class: the flattened
+//! instance-field list (superclass fields first — the exact layout the
+//! loader uses), with reference fields marked so the codec writes global ids
+//! instead of deep-copying (`out.writeGlobalIdOf(myRefField)` in Figure 2).
+//!
+//! The registry is consumed by the DSM codec for object-state messages and
+//! by field-granular diff computation.
+
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::instr::Ty;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Generated serializer descriptor for one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSerializer {
+    pub class: Arc<str>,
+    /// Flattened instance fields in layout order: (name, type).
+    pub fields: Vec<(Arc<str>, Ty)>,
+}
+
+impl ClassSerializer {
+    /// Serialized size in bytes of one instance (refs travel as 8-byte gids).
+    pub fn byte_size(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|(_, t)| match t {
+                Ty::I32 => 4,
+                Ty::I64 | Ty::F64 | Ty::Ref => 8,
+            })
+            .sum()
+    }
+
+    /// Indices of reference-typed fields (written as global ids).
+    pub fn ref_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, t))| matches!(t, Ty::Ref))
+            .map(|(i, _)| i)
+    }
+}
+
+/// All generated serializers, keyed by class name.
+#[derive(Debug, Default, Clone)]
+pub struct SerializerRegistry {
+    map: HashMap<Arc<str>, ClassSerializer>,
+}
+
+impl SerializerRegistry {
+    pub fn get(&self, class: &str) -> Option<&ClassSerializer> {
+        self.map.get(class)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Generate serializers for every class in the program (run after all field
+/// transformations so companions are included, and after renaming so the
+/// keys match runtime class names).
+pub fn generate(program: &Program) -> SerializerRegistry {
+    let by_name: HashMap<&str, usize> =
+        program.classes.iter().enumerate().map(|(i, c)| (&*c.name, i)).collect();
+
+    // Flattened layout, memoized per class.
+    fn layout(
+        idx: usize,
+        program: &Program,
+        by_name: &HashMap<&str, usize>,
+        memo: &mut Vec<Option<Vec<(Arc<str>, Ty)>>>,
+    ) -> Vec<(Arc<str>, Ty)> {
+        if let Some(l) = &memo[idx] {
+            return l.clone();
+        }
+        let c = &program.classes[idx];
+        let mut fields = match &c.super_name {
+            Some(s) => match by_name.get(&**s) {
+                Some(&sidx) => layout(sidx, program, by_name, memo),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        };
+        fields.extend(
+            c.fields.iter().filter(|f| !f.is_static).map(|f| (f.name.clone(), f.ty)),
+        );
+        memo[idx] = Some(fields.clone());
+        fields
+    }
+
+    let mut memo = vec![None; program.classes.len()];
+    let mut map = HashMap::with_capacity(program.classes.len());
+    for (i, c) in program.classes.iter().enumerate() {
+        let fields = layout(i, program, &by_name, &mut memo);
+        map.insert(c.name.clone(), ClassSerializer { class: c.name.clone(), fields });
+    }
+    SerializerRegistry { map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::builder::ProgramBuilder;
+
+    #[test]
+    fn layout_matches_loader_order() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("A", "java.lang.Object", |cb| {
+            cb.field("a1", Ty::I32).field("a2", Ty::Ref);
+        });
+        pb.class("B", "A", |cb| {
+            cb.field("b1", Ty::F64);
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.ret();
+            });
+        });
+        let p = pb.build_with_stdlib();
+        let reg = generate(&p);
+        let b = reg.get("B").unwrap();
+        let names: Vec<&str> = b.fields.iter().map(|(n, _)| &**n).collect();
+        assert_eq!(names, ["a1", "a2", "b1"]);
+
+        // Cross-check against the loader's resolved layout.
+        let img = jsplit_mjvm::loader::Image::load(&p).unwrap();
+        let rb = img.class(img.class_id("B").unwrap());
+        let loader_names: Vec<&str> = rb.field_names.iter().map(|n| &**n).collect();
+        assert_eq!(names, loader_names);
+    }
+
+    #[test]
+    fn ref_slots_and_sizes() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("A", "java.lang.Object", |cb| {
+            cb.field("i", Ty::I32).field("r", Ty::Ref).field("d", Ty::F64);
+        });
+        let reg = generate(&pb.build());
+        let a = reg.get("A").unwrap();
+        assert_eq!(a.byte_size(), 4 + 8 + 8);
+        assert_eq!(a.ref_slots().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn statics_excluded() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("A", "java.lang.Object", |cb| {
+            cb.static_field("s", Ty::I32).field("x", Ty::I32);
+        });
+        let reg = generate(&pb.build());
+        let a = reg.get("A").unwrap();
+        assert_eq!(a.fields.len(), 1);
+        assert_eq!(&*a.fields[0].0, "x");
+    }
+}

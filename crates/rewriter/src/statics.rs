@@ -1,0 +1,216 @@
+//! Static-field transformation (paper §4.2).
+//!
+//! For each class `C` with static variables the rewriter creates a companion
+//! class `C_static` whose *instance* fields are `C`'s statics. `C` keeps a
+//! single constant static reference field (`__javasplit__statics__`) pointing
+//! at the shared `C_static` singleton; every static access becomes an
+//! instance access on that singleton, preceded by an ordinary access check —
+//! "the same memory coherency mechanism for management of both static and
+//! regular fields".
+//!
+//! The singleton instances are created and registered as shared objects by
+//! the runtime at start-up (each node's holder slot is filled with a local
+//! cached copy; the first access check faults it in from home).
+
+use crate::pipeline::RewriteStats;
+use crate::splice::splice;
+use crate::{STATICS_HOLDER, STATIC_SUFFIX};
+use jsplit_mjvm::class::{ClassFile, FieldDef, Program};
+use jsplit_mjvm::instr::{Instr, Ty};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Apply the transformation to the whole program.
+pub fn transform_statics(program: &mut Program, stats: &mut RewriteStats) {
+    // Which class actually declares `class.field`? (Accesses may name a
+    // subclass; resolve up the hierarchy like the loader does.)
+    let super_of: HashMap<Arc<str>, Option<Arc<str>>> = program
+        .classes
+        .iter()
+        .map(|c| (c.name.clone(), c.super_name.clone()))
+        .collect();
+    let declares: HashMap<(Arc<str>, Arc<str>), ()> = program
+        .classes
+        .iter()
+        .flat_map(|c| {
+            c.fields
+                .iter()
+                .filter(|f| f.is_static)
+                .map(move |f| ((c.name.clone(), f.name.clone()), ()))
+        })
+        .collect();
+    let resolve_declaring = |mut class: Arc<str>, field: &Arc<str>| -> Option<Arc<str>> {
+        loop {
+            if declares.contains_key(&(class.clone(), field.clone())) {
+                return Some(class);
+            }
+            match super_of.get(&class) {
+                Some(Some(s)) => class = s.clone(),
+                _ => return None,
+            }
+        }
+    };
+
+    // 1. Create companions and swap statics for the holder field.
+    let mut companions: Vec<ClassFile> = Vec::new();
+    for c in &mut program.classes {
+        if !c.fields.iter().any(|f| f.is_static) {
+            continue;
+        }
+        stats.statics_classes += 1;
+        let mut comp = ClassFile::new(&format!("{}{STATIC_SUFFIX}", c.name), Some("java.lang.Object"));
+        comp.is_bootstrap = c.is_bootstrap;
+        let (statics, instance): (Vec<FieldDef>, Vec<FieldDef>) =
+            c.fields.drain(..).partition(|f| f.is_static);
+        c.fields = instance;
+        for mut f in statics {
+            stats.statics_fields += 1;
+            f.is_static = false;
+            comp.fields.push(f);
+        }
+        c.fields.push(FieldDef {
+            name: STATICS_HOLDER.into(),
+            ty: Ty::Ref,
+            is_static: true,
+            is_volatile: false,
+        });
+        companions.push(comp);
+    }
+    program.classes.extend(companions);
+
+    // 2. Rewrite every static access into a holder-load + instance access.
+    for c in &mut program.classes {
+        for m in &mut c.methods {
+            if m.is_native {
+                continue;
+            }
+            m.code = splice(&m.code, |_, ins| match ins {
+                Instr::GetStatic(cn, f) if &**f != STATICS_HOLDER => {
+                    let Some(decl) = resolve_declaring(cn.clone(), f) else {
+                        return vec![ins.clone()];
+                    };
+                    let comp: Arc<str> = format!("{decl}{STATIC_SUFFIX}").into();
+                    vec![
+                        Instr::GetStatic(decl, STATICS_HOLDER.into()),
+                        Instr::GetField(comp, f.clone()),
+                    ]
+                }
+                Instr::PutStatic(cn, f) => {
+                    let Some(decl) = resolve_declaring(cn.clone(), f) else {
+                        return vec![ins.clone()];
+                    };
+                    let comp: Arc<str> = format!("{decl}{STATIC_SUFFIX}").into();
+                    // stack: [.. value] -> [.. holder value] -> putfield
+                    vec![
+                        Instr::GetStatic(decl, STATICS_HOLDER.into()),
+                        Instr::Swap,
+                        Instr::PutField(comp, f.clone()),
+                    ]
+                }
+                other => vec![other.clone()],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::builder::ProgramBuilder;
+    use jsplit_mjvm::instr::Ty;
+
+    fn program_with_statics() -> Program {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("C", "java.lang.Object", |cb| {
+            cb.static_field("count", Ty::I32).field("x", Ty::F64);
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.getstatic("C", "count").const_i32(1).iadd().putstatic("C", "count").ret();
+            });
+        });
+        pb.build()
+    }
+
+    #[test]
+    fn companion_class_created_with_instance_fields() {
+        let mut p = program_with_statics();
+        let mut stats = RewriteStats::default();
+        transform_statics(&mut p, &mut stats);
+        let comp = p.class("C_static").expect("companion");
+        let f = comp.field("count").expect("moved field");
+        assert!(!f.is_static);
+        assert_eq!(stats.statics_classes, 1);
+        assert_eq!(stats.statics_fields, 1);
+        // C lost its static, gained the holder.
+        let c = p.class("C").unwrap();
+        assert!(c.field("count").is_none());
+        let holder = c.field(STATICS_HOLDER).unwrap();
+        assert!(holder.is_static);
+        assert_eq!(holder.ty, Ty::Ref);
+        // Instance field survives in place.
+        assert!(c.field("x").is_some());
+    }
+
+    #[test]
+    fn accesses_rewritten_to_holder_plus_instance_access() {
+        let mut p = program_with_statics();
+        transform_statics(&mut p, &mut RewriteStats::default());
+        let code = &p.class("M").unwrap().method("main").unwrap().code;
+        assert!(
+            code.iter().any(|i| matches!(i, Instr::GetField(c, f) if &**c == "C_static" && &**f == "count")),
+            "{code:?}"
+        );
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::PutField(c, f) if &**c == "C_static" && &**f == "count")));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::GetStatic(_, f) if &**f == STATICS_HOLDER)));
+        // No untransformed static accesses remain.
+        assert!(!code
+            .iter()
+            .any(|i| matches!(i, Instr::GetStatic(_, f) | Instr::PutStatic(_, f) if &**f != STATICS_HOLDER)));
+    }
+
+    #[test]
+    fn access_via_subclass_resolves_declaring_class() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("A", "java.lang.Object", |cb| {
+            cb.static_field("s", Ty::I32);
+        });
+        pb.class("B", "A", |_| {});
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.getstatic("B", "s").println_i32().ret();
+            });
+        });
+        let mut p = pb.build();
+        transform_statics(&mut p, &mut RewriteStats::default());
+        let code = &p.class("M").unwrap().method("main").unwrap().code;
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::GetField(c, _) if &**c == "A_static")));
+        assert!(p.class("A_static").is_some());
+        assert!(p.class("B_static").is_none());
+    }
+
+    #[test]
+    fn volatile_statics_stay_volatile() {
+        // The builder has no volatile-static helper; construct directly.
+        let mut p = {
+            let mut pb = ProgramBuilder::new("M");
+            pb.class("C", "java.lang.Object", |_| {});
+            pb.build()
+        };
+        p.classes[0].fields.push(FieldDef {
+            name: "v".into(),
+            ty: Ty::I64,
+            is_static: true,
+            is_volatile: true,
+        });
+        transform_statics(&mut p, &mut RewriteStats::default());
+        let comp = p.class("C_static").unwrap();
+        assert!(comp.field("v").unwrap().is_volatile);
+    }
+}

@@ -1,0 +1,62 @@
+//! Thread-creation interception (paper §4, change 1).
+//!
+//! "Bytecode segments that start execution of new threads are substituted
+//! with calls to a handler that ships the thread to a node chosen by the
+//! load balancing function." In MJVM the only way a thread reaches the VM is
+//! `Thread.start()` calling the native `start0()` (mirroring the real JDK's
+//! `start0`); the rewriter replaces each `invokevirtual start0()V` site with
+//! the `DsmSpawn` handler instruction, which consumes the same receiver
+//! operand.
+
+use crate::pipeline::RewriteStats;
+use jsplit_mjvm::class::MethodDef;
+use jsplit_mjvm::instr::Instr;
+
+/// Substitute `start0()` call sites with the spawn handler.
+pub fn intercept_thread_start(m: &mut MethodDef, stats: &mut RewriteStats) {
+    for ins in &mut m.code {
+        if let Instr::InvokeVirtual(sig) = ins {
+            if &*sig.name == "start0" && sig.params.is_empty() && sig.ret.is_none() {
+                *ins = Instr::DsmSpawn;
+                stats.spawns_intercepted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsplit_mjvm::builder::ProgramBuilder;
+    use jsplit_mjvm::stdlib;
+
+    #[test]
+    fn start0_site_in_thread_start_is_substituted() {
+        // The stdlib Thread.start body contains the start0 call.
+        let classes = stdlib::stdlib_classes();
+        let thread = classes.iter().find(|c| &*c.name == stdlib::THREAD).unwrap();
+        let mut m = thread.method("start").unwrap().clone();
+        let mut stats = RewriteStats::default();
+        intercept_thread_start(&mut m, &mut stats);
+        assert_eq!(stats.spawns_intercepted, 1);
+        assert!(m.code.iter().any(|i| matches!(i, Instr::DsmSpawn)));
+        assert!(!m
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::InvokeVirtual(s) if &*s.name == "start0")));
+    }
+
+    #[test]
+    fn other_calls_untouched() {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.method("f", &[], None, |m| {
+                m.load(0).invokevirtual("start", &[], None).ret();
+            });
+        });
+        let mut m = pb.build().class("M").unwrap().method("f").unwrap().clone();
+        let mut stats = RewriteStats::default();
+        intercept_thread_start(&mut m, &mut stats);
+        assert_eq!(stats.spawns_intercepted, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Plug-in load balancing (paper §2).
+//!
+//! "Each newly created application thread is placed for execution on one of
+//! the worker nodes, according to a plug-in load balancing function.
+//! Currently, we use the simplest load-balancing function, placing a new
+//! thread on the least loaded worker."
+
+use jsplit_net::NodeId;
+
+/// The load-balancing strategy interface: given the live-thread count per
+/// node and the spawning node, pick the executing node.
+pub trait LoadBalancer {
+    fn pick(&mut self, loads: &[usize], origin: NodeId) -> NodeId;
+}
+
+/// Built-in strategies (a trait object also works for custom ones; the enum
+/// keeps configs `Clone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Balancer {
+    /// The paper's default.
+    LeastLoaded,
+    /// Cycle through nodes regardless of load.
+    RoundRobin,
+    /// Keep every thread on the spawning node (useful for ablations: all
+    /// parallelism stays local).
+    Pinned,
+}
+
+/// Stateful instantiation of a [`Balancer`].
+#[derive(Debug)]
+pub struct BalancerState {
+    kind: Balancer,
+    next: usize,
+}
+
+impl BalancerState {
+    pub fn new(kind: Balancer) -> BalancerState {
+        BalancerState { kind, next: 0 }
+    }
+}
+
+impl LoadBalancer for BalancerState {
+    fn pick(&mut self, loads: &[usize], origin: NodeId) -> NodeId {
+        match self.kind {
+            Balancer::LeastLoaded => loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, &l)| (l, *i))
+                .map(|(i, _)| i as NodeId)
+                .unwrap_or(origin),
+            Balancer::RoundRobin => {
+                let n = loads.len().max(1);
+                let pick = (self.next % n) as NodeId;
+                self.next += 1;
+                pick
+            }
+            Balancer::Pinned => origin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_picks_minimum_then_lowest_id() {
+        let mut b = BalancerState::new(Balancer::LeastLoaded);
+        assert_eq!(b.pick(&[3, 1, 2], 0), 1);
+        assert_eq!(b.pick(&[2, 2, 2], 1), 0, "tie broken by lowest id");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut b = BalancerState::new(Balancer::RoundRobin);
+        let picks: Vec<NodeId> = (0..5).map(|_| b.pick(&[0, 0, 0], 0)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn pinned_stays_home() {
+        let mut b = BalancerState::new(Balancer::Pinned);
+        assert_eq!(b.pick(&[9, 0], 0), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! `jsplit` — run a serialized MJVM program on a simulated JavaSplit cluster.
+//!
+//! ```text
+//! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
+//!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
+//! jsplit info prog.mjvm          # class/method/instruction inventory
+//! jsplit demo out.mjvm           # write a demo program file to run
+//! ```
+//!
+//! Program files are produced with
+//! [`jsplit_mjvm::classfile_io::encode_program`] — the same bytes the
+//! runtime ships to workers at start-up.
+
+use jsplit_dsm::ProtocolMode;
+use jsplit_mjvm::classfile_io;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::{Balancer, ClusterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
+         \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
+         \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => usage(),
+    };
+    match cmd {
+        "run" => cmd_run(rest),
+        "info" => cmd_info(rest),
+        "demo" => cmd_demo(rest),
+        _ => usage(),
+    }
+}
+
+fn load_program(path: &str) -> jsplit_mjvm::class::Program {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("jsplit: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    classfile_io::decode_program(&bytes).unwrap_or_else(|e| {
+        eprintln!("jsplit: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_run(rest: &[String]) {
+    let Some(path) = rest.first() else { usage() };
+    let mut nodes = 4usize;
+    let mut profile = JvmProfile::SunSim;
+    let mut baseline = false;
+    let mut protocol = ProtocolMode::MtsHlrc;
+    let mut chunk: Option<u32> = None;
+    let mut balancer = Balancer::LeastLoaded;
+    let mut it = rest[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => nodes = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--profile" => {
+                profile = match it.next().map(String::as_str) {
+                    Some("sun") => JvmProfile::SunSim,
+                    Some("ibm") => JvmProfile::IbmSim,
+                    _ => usage(),
+                }
+            }
+            "--baseline" => baseline = true,
+            "--protocol" => {
+                protocol = match it.next().map(String::as_str) {
+                    Some("mts") => ProtocolMode::MtsHlrc,
+                    Some("classic") => ProtocolMode::ClassicHlrc,
+                    _ => usage(),
+                }
+            }
+            "--chunk" => chunk = it.next().and_then(|s| s.parse().ok()),
+            "--balancer" => {
+                balancer = match it.next().map(String::as_str) {
+                    Some("least") => Balancer::LeastLoaded,
+                    Some("rr") => Balancer::RoundRobin,
+                    Some("pinned") => Balancer::Pinned,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    let program = load_program(path);
+    let mut cfg = if baseline {
+        ClusterConfig::baseline(profile, 2)
+    } else {
+        ClusterConfig::javasplit(profile, nodes)
+    };
+    cfg.protocol = protocol;
+    cfg.array_chunk = chunk;
+    cfg.balancer = balancer;
+
+    let report = run_cluster(cfg, &program).unwrap_or_else(|e| {
+        eprintln!("jsplit: {e}");
+        std::process::exit(1);
+    });
+    for line in &report.output {
+        println!("{line}");
+    }
+    let mode = if baseline { "baseline" } else { "javasplit" };
+    eprintln!(
+        "[jsplit] mode={mode} nodes={} profile={} time={:.6}s setup={:.6}s threads={} msgs={} bytes={}",
+        if baseline { 1 } else { nodes },
+        profile.name(),
+        report.exec_time_secs(),
+        report.setup_ps as f64 / 1e12,
+        report.threads,
+        report.net_total().msgs_sent,
+        report.net_total().bytes_sent,
+    );
+    if report.deadlocked {
+        eprintln!("[jsplit] DEADLOCK: live threads could not make progress");
+        std::process::exit(3);
+    }
+    for (uid, err) in &report.errors {
+        eprintln!("[jsplit] thread {uid} trapped: {err}");
+    }
+    if !report.errors.is_empty() {
+        std::process::exit(4);
+    }
+}
+
+fn cmd_info(rest: &[String]) {
+    let Some(path) = rest.first() else { usage() };
+    let program = load_program(path);
+    println!("main class: {}", program.main_class);
+    println!("classes:    {}", program.classes.len());
+    println!("instrs:     {}", program.code_size());
+    let mut classes: Vec<_> = program.classes.iter().collect();
+    classes.sort_by(|a, b| a.name.cmp(&b.name));
+    for c in classes {
+        let code: usize = c.methods.iter().map(|m| m.code.len()).sum();
+        println!(
+            "  {:<40} {:>2} fields {:>2} methods {:>5} instrs{}",
+            c.name,
+            c.fields.len(),
+            c.methods.len(),
+            code,
+            if c.is_bootstrap { "  [bootstrap]" } else { "" }
+        );
+    }
+}
+
+fn cmd_demo(rest: &[String]) {
+    let Some(path) = rest.first() else { usage() };
+    // The quickstart counter program, persisted as a class-file bundle.
+    let program = jsplit_apps::tsp::program(jsplit_apps::tsp::TspParams {
+        n: 8,
+        seed: 42,
+        depth: 2,
+        threads: 4,
+    });
+    let bytes = classfile_io::encode_program(&program);
+    std::fs::write(path, &bytes).unwrap_or_else(|e| {
+        eprintln!("jsplit: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {} B ({} classes) to {path}", bytes.len(), program.classes.len());
+    println!("try:  jsplit run {path} --nodes 4 --profile ibm");
+}

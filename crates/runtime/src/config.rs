@@ -1,0 +1,154 @@
+//! Cluster configuration.
+
+use crate::balance::Balancer;
+use jsplit_dsm::ProtocolMode;
+use jsplit_mjvm::cost::JvmProfile;
+
+/// Original program on one node vs rewritten program on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unrewritten program, classic monitors, single node ("Original").
+    Baseline,
+    /// Rewritten program on the distributed runtime ("JavaSplit").
+    JavaSplit,
+}
+
+/// One worker node (heterogeneous clusters mix profiles, paper §6).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    pub profile: JvmProfile,
+}
+
+impl NodeSpec {
+    pub fn sun() -> NodeSpec {
+        NodeSpec { profile: JvmProfile::SunSim }
+    }
+
+    pub fn ibm() -> NodeSpec {
+        NodeSpec { profile: JvmProfile::IbmSim }
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub mode: Mode,
+    pub nodes: Vec<NodeSpec>,
+    /// Virtual CPUs per node (the paper's testbed: dual-processor Xeons).
+    pub cpus_per_node: usize,
+    /// MTS-HLRC (paper) or classic HLRC (ablation baseline).
+    pub protocol: ProtocolMode,
+    /// Load-balancing plug-in (paper §2: "a plug-in load balancing
+    /// function"; default = least loaded).
+    pub balancer: Balancer,
+    /// Instructions per scheduling quantum.
+    pub fuel: u32,
+    /// Abort guard: maximum retired instructions across the cluster.
+    pub max_ops: u64,
+    /// Workers that join mid-execution: (virtual time ps, spec) (paper §2).
+    pub joins: Vec<(u64, NodeSpec)>,
+    /// Ablation: disable the §4.4 local-object lock-counter fast path.
+    pub disable_local_locks: bool,
+    /// §4.3 extension: chunk arrays longer than this many elements into
+    /// per-region coherency units (`None` = paper-prototype behaviour).
+    pub array_chunk: Option<u32>,
+}
+
+impl ClusterConfig {
+    /// The paper's "Original" configuration: one node, `cpus` CPUs.
+    pub fn baseline(profile: JvmProfile, cpus: usize) -> ClusterConfig {
+        ClusterConfig {
+            mode: Mode::Baseline,
+            nodes: vec![NodeSpec { profile }],
+            cpus_per_node: cpus,
+            protocol: ProtocolMode::MtsHlrc,
+            balancer: Balancer::LeastLoaded,
+            fuel: 4096,
+            max_ops: u64::MAX,
+            joins: Vec::new(),
+            disable_local_locks: false,
+            array_chunk: None,
+        }
+    }
+
+    /// A homogeneous JavaSplit cluster of `n` dual-CPU nodes.
+    pub fn javasplit(profile: JvmProfile, n: usize) -> ClusterConfig {
+        ClusterConfig {
+            mode: Mode::JavaSplit,
+            nodes: (0..n).map(|_| NodeSpec { profile }).collect(),
+            cpus_per_node: 2,
+            protocol: ProtocolMode::MtsHlrc,
+            balancer: Balancer::LeastLoaded,
+            fuel: 4096,
+            max_ops: u64::MAX,
+            joins: Vec::new(),
+            disable_local_locks: false,
+            array_chunk: None,
+        }
+    }
+
+    /// A heterogeneous cluster from explicit specs.
+    pub fn heterogeneous(nodes: Vec<NodeSpec>) -> ClusterConfig {
+        ClusterConfig {
+            mode: Mode::JavaSplit,
+            nodes,
+            cpus_per_node: 2,
+            protocol: ProtocolMode::MtsHlrc,
+            balancer: Balancer::LeastLoaded,
+            fuel: 4096,
+            max_ops: u64::MAX,
+            joins: Vec::new(),
+            disable_local_locks: false,
+            array_chunk: None,
+        }
+    }
+
+    pub fn with_array_chunk(mut self, elems: u32) -> Self {
+        self.array_chunk = Some(elems);
+        self
+    }
+
+    pub fn without_local_locks(mut self) -> Self {
+        self.disable_local_locks = true;
+        self
+    }
+
+    pub fn with_protocol(mut self, protocol: ProtocolMode) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    pub fn with_balancer(mut self, balancer: Balancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    pub fn with_joins(mut self, joins: Vec<(u64, NodeSpec)>) -> Self {
+        self.joins = joins;
+        self
+    }
+
+    pub fn with_max_ops(mut self, max_ops: u64) -> Self {
+        self.max_ops = max_ops;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ClusterConfig::javasplit(JvmProfile::SunSim, 4)
+            .with_protocol(ProtocolMode::ClassicHlrc)
+            .with_balancer(Balancer::RoundRobin)
+            .with_max_ops(1000);
+        assert_eq!(c.nodes.len(), 4);
+        assert_eq!(c.protocol, ProtocolMode::ClassicHlrc);
+        assert_eq!(c.max_ops, 1000);
+        let b = ClusterConfig::baseline(JvmProfile::IbmSim, 2);
+        assert_eq!(b.mode, Mode::Baseline);
+        assert_eq!(b.cpus_per_node, 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-worker interpreter environments.
+//!
+//! [`JsEnv`] plugs the MTS-HLRC engine into the interpreter's [`VmEnv`]
+//! interface: access checks become DSM checks, the substituted monitor
+//! handlers become queue-passing lock operations, and console output is
+//! forwarded to the console node (I/O interception, paper §4). The baseline
+//! mode reuses [`jsplit_mjvm::BaselineEnv`] unchanged; [`NodeEnv`] selects
+//! between them per worker.
+
+use jsplit_dsm::node::{AccessOutcome, LockOutcome};
+use jsplit_dsm::{DsmNode, Msg};
+use jsplit_mjvm::cost::CostModel;
+use jsplit_mjvm::heap::{Heap, ObjRef, ThreadUid};
+use jsplit_mjvm::instr::AccessKind;
+use jsplit_mjvm::interp::{CheckOutcome, MonOutcome, Thread, VmError};
+use jsplit_mjvm::loader::ClassId;
+use jsplit_mjvm::{BaselineEnv, Value, VmEnv};
+use jsplit_net::NodeId;
+use std::collections::HashMap;
+
+/// The JavaSplit worker environment.
+pub struct JsEnv {
+    pub model: &'static CostModel,
+    pub node: NodeId,
+    pub dsm: DsmNode,
+    /// Current virtual time, set by the scheduler before each slice.
+    pub now_ps: u64,
+    /// Spawn requests recorded during the slice: (thread object, priority).
+    pub spawns: Vec<(ObjRef, i32)>,
+    /// Sleepers: (absolute wake time ps, thread).
+    pub sleepers: Vec<(u64, ThreadUid)>,
+    /// Non-DSM sends produced during the slice (console forwarding).
+    pub sends: Vec<(NodeId, Msg)>,
+    /// Console lines emitted on the console node itself.
+    pub console: Vec<String>,
+    pub thread_class: ClassId,
+    files: HashMap<i32, (String, Vec<String>, usize)>,
+    next_fd: i32,
+}
+
+/// The node that collects console output (worker 0 — where `main` runs).
+pub const CONSOLE_NODE: NodeId = 0;
+
+impl JsEnv {
+    pub fn new(model: &'static CostModel, node: NodeId, dsm: DsmNode, thread_class: ClassId) -> JsEnv {
+        JsEnv {
+            model,
+            node,
+            dsm,
+            now_ps: 0,
+            spawns: Vec::new(),
+            sleepers: Vec::new(),
+            sends: Vec::new(),
+            console: Vec::new(),
+            thread_class,
+            files: HashMap::new(),
+            next_fd: 3,
+        }
+    }
+}
+
+fn mon_err(e: jsplit_dsm::node::MonitorError) -> VmError {
+    VmError::IllegalMonitorState { op: e.0 }
+}
+
+impl VmEnv for JsEnv {
+    fn check_read(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, _kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
+        match self.dsm.check_read(heap, t.uid, obj, idx) {
+            AccessOutcome::Hit => CheckOutcome::Proceed,
+            AccessOutcome::Miss => CheckOutcome::Miss,
+        }
+    }
+
+    fn check_write(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, _kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
+        match self.dsm.check_write(heap, t.uid, obj, idx) {
+            AccessOutcome::Hit => CheckOutcome::Proceed,
+            AccessOutcome::Miss => CheckOutcome::Miss,
+        }
+    }
+
+    // In a fully rewritten program the original monitor ops only appear via
+    // natives (wait/notify); route everything through the DSM handlers.
+    fn monitor_enter(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> MonOutcome {
+        self.dsm_monitor_enter(heap, t, obj)
+    }
+
+    fn monitor_exit(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        self.dsm_monitor_exit(heap, t, obj)
+    }
+
+    fn dsm_monitor_enter(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> MonOutcome {
+        match self.dsm.monitor_enter(heap, t.uid, t.priority, obj) {
+            LockOutcome::EnteredLocal => MonOutcome::Entered { cost: self.model.dsm_local_acquire },
+            LockOutcome::EnteredShared => MonOutcome::Entered { cost: self.model.dsm_shared_acquire },
+            LockOutcome::Blocked => MonOutcome::Blocked { cost: self.model.dsm_shared_acquire },
+        }
+    }
+
+    fn dsm_monitor_exit(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        match self.dsm.monitor_exit(heap, t.uid, obj) {
+            Ok(true) => Ok(self.model.dsm_local_release),
+            Ok(false) => Ok(self.model.dsm_shared_release),
+            Err(e) => Err(mon_err(e)),
+        }
+    }
+
+    fn obj_wait(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        self.dsm.obj_wait(heap, t.uid, t.priority, obj).map_err(mon_err)?;
+        Ok(self.model.dsm_shared_release + self.model.dsm_shared_acquire)
+    }
+
+    fn obj_notify(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, all: bool) -> Result<u64, VmError> {
+        self.dsm.obj_notify(heap, t.uid, obj, all).map_err(mon_err)?;
+        Ok(self.model.dsm_local_release)
+    }
+
+    fn spawn(&mut self, heap: &mut Heap, _t: &mut Thread, thread_obj: ObjRef, _via_dsm: bool) -> Result<u64, VmError> {
+        // Thread layout: target(0), priority(1), alive(2) — see stdlib.
+        let priority = match &heap.get(thread_obj).payload {
+            jsplit_mjvm::ObjPayload::Fields(f) => f.get(1).map(|v| v.as_i32()).unwrap_or(5),
+            _ => 5,
+        };
+        self.spawns.push((thread_obj, priority));
+        Ok(self.model.invoke * 4)
+    }
+
+    fn sleep(&mut self, t: &mut Thread, millis: i64) -> u64 {
+        let wake = self.now_ps + (millis.max(0) as u64) * jsplit_mjvm::cost::PS_PER_MS;
+        self.sleepers.push((wake, t.uid));
+        self.model.invoke
+    }
+
+    fn current_thread_obj(&mut self, heap: &mut Heap, t: &mut Thread) -> ObjRef {
+        if let Some(r) = t.thread_obj {
+            return r;
+        }
+        let r = heap.alloc_object(self.thread_class, 3, vec![Value::Null, Value::I32(5), Value::I32(1)]);
+        t.thread_obj = Some(r);
+        r
+    }
+
+    fn println(&mut self, _t: &Thread, line: &str) {
+        // Low-level I/O is intercepted and forwarded to the console node.
+        if self.node == CONSOLE_NODE {
+            self.console.push(line.to_string());
+        } else {
+            self.sends.push((CONSOLE_NODE, Msg::Println { line: line.to_string(), origin: self.node }));
+        }
+    }
+
+    fn now_millis(&self) -> i64 {
+        (self.now_ps / jsplit_mjvm::cost::PS_PER_MS) as i64
+    }
+
+    fn file_open(&mut self, name: &str) -> i32 {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.files.insert(fd, (name.to_string(), Vec::new(), 0));
+        fd
+    }
+
+    fn file_write_line(&mut self, fd: i32, line: &str) {
+        if let Some((_, lines, _)) = self.files.get_mut(&fd) {
+            lines.push(line.to_string());
+        }
+    }
+
+    fn file_read_line(&mut self, fd: i32) -> Option<String> {
+        let (_, lines, pos) = self.files.get_mut(&fd)?;
+        let line = lines.get(*pos)?.clone();
+        *pos += 1;
+        Some(line)
+    }
+
+    fn file_close(&mut self, _fd: i32) {}
+}
+
+/// Per-worker environment: baseline or JavaSplit.
+pub enum NodeEnv {
+    Baseline(BaselineEnv),
+    Js(JsEnv),
+}
+
+impl NodeEnv {
+    pub fn js(&mut self) -> &mut JsEnv {
+        match self {
+            NodeEnv::Js(e) => e,
+            NodeEnv::Baseline(_) => panic!("baseline worker has no DSM engine"),
+        }
+    }
+
+    pub fn baseline(&mut self) -> &mut BaselineEnv {
+        match self {
+            NodeEnv::Baseline(e) => e,
+            NodeEnv::Js(_) => panic!("JavaSplit worker has no baseline env"),
+        }
+    }
+
+    pub fn set_now(&mut self, now_ps: u64) {
+        match self {
+            NodeEnv::Baseline(e) => e.clock_ps = now_ps,
+            NodeEnv::Js(e) => e.now_ps = now_ps,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident ( $($a:expr),* )) => {
+        match $self {
+            NodeEnv::Baseline(e) => e.$m($($a),*),
+            NodeEnv::Js(e) => e.$m($($a),*),
+        }
+    };
+}
+
+impl VmEnv for NodeEnv {
+    fn check_read(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
+        delegate!(self, check_read(heap, t, obj, kind, idx))
+    }
+    fn check_write(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
+        delegate!(self, check_write(heap, t, obj, kind, idx))
+    }
+    fn monitor_enter(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> MonOutcome {
+        delegate!(self, monitor_enter(heap, t, obj))
+    }
+    fn monitor_exit(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        delegate!(self, monitor_exit(heap, t, obj))
+    }
+    fn dsm_monitor_enter(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> MonOutcome {
+        delegate!(self, dsm_monitor_enter(heap, t, obj))
+    }
+    fn dsm_monitor_exit(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        delegate!(self, dsm_monitor_exit(heap, t, obj))
+    }
+    fn obj_wait(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        delegate!(self, obj_wait(heap, t, obj))
+    }
+    fn obj_notify(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, all: bool) -> Result<u64, VmError> {
+        delegate!(self, obj_notify(heap, t, obj, all))
+    }
+    fn volatile_acquire(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> MonOutcome {
+        delegate!(self, volatile_acquire(heap, t, obj))
+    }
+    fn volatile_release(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
+        delegate!(self, volatile_release(heap, t, obj))
+    }
+    fn spawn(&mut self, heap: &mut Heap, t: &mut Thread, thread_obj: ObjRef, via_dsm: bool) -> Result<u64, VmError> {
+        delegate!(self, spawn(heap, t, thread_obj, via_dsm))
+    }
+    fn sleep(&mut self, t: &mut Thread, millis: i64) -> u64 {
+        delegate!(self, sleep(t, millis))
+    }
+    fn yield_now(&mut self, t: &mut Thread) -> u64 {
+        delegate!(self, yield_now(t))
+    }
+    fn current_thread_obj(&mut self, heap: &mut Heap, t: &mut Thread) -> ObjRef {
+        delegate!(self, current_thread_obj(heap, t))
+    }
+    fn println(&mut self, t: &Thread, line: &str) {
+        delegate!(self, println(t, line))
+    }
+    fn now_millis(&self) -> i64 {
+        match self {
+            NodeEnv::Baseline(e) => e.now_millis(),
+            NodeEnv::Js(e) => e.now_millis(),
+        }
+    }
+    fn file_open(&mut self, name: &str) -> i32 {
+        delegate!(self, file_open(name))
+    }
+    fn file_write_line(&mut self, fd: i32, line: &str) {
+        delegate!(self, file_write_line(fd, line))
+    }
+    fn file_read_line(&mut self, fd: i32) -> Option<String> {
+        delegate!(self, file_read_line(fd))
+    }
+    fn file_close(&mut self, fd: i32) {
+        delegate!(self, file_close(fd))
+    }
+}

@@ -1,0 +1,617 @@
+//! The cluster: workers + discrete-event scheduler (the "runtime" of the
+//! paper's §2, with the testbed of §6 as its virtual-time model).
+//!
+//! One global event queue orders CPU slices and message deliveries by
+//! virtual time (ties broken by insertion order, so runs are bit-for-bit
+//! deterministic). Each worker owns a heap, a DSM engine, a ready queue and
+//! `cpus_per_node` virtual CPUs; threads are green threads whose instruction
+//! costs advance their CPU's clock per the node's JVM-brand cost model.
+
+use crate::balance::{BalancerState, LoadBalancer};
+use crate::config::{ClusterConfig, Mode, NodeSpec};
+use crate::env::{JsEnv, NodeEnv, CONSOLE_NODE};
+use crate::report::RunReport;
+use jsplit_dsm::node::Action;
+use jsplit_dsm::{DsmConfig, DsmNode, Msg};
+use jsplit_mjvm::class::{Program, Sig};
+use jsplit_mjvm::cost::CostModel;
+use jsplit_mjvm::heap::{Gid, Heap, ObjRef, ThreadUid};
+use jsplit_mjvm::interp::{self, Frame, StepCtx, StepState, Thread, VmError};
+use jsplit_mjvm::loader::{ClassId, Image, LoadError, MethodId};
+use jsplit_mjvm::{stdlib, Value};
+use jsplit_net::{LinkParams, Network, NodeId};
+use jsplit_rewriter::{RewriteError, RewriteStats, STATICS_HOLDER};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Errors preparing a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    Rewrite(RewriteError),
+    Load(LoadError),
+    Config(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+            ClusterError::Load(e) => write!(f, "load failed: {e}"),
+            ClusterError::Config(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A scheduled event.
+enum Ev {
+    /// Run a quantum of `thread` on `cpu` of `node`.
+    Slice { node: NodeId, cpu: usize, thread: ThreadUid },
+    /// Deliver a protocol/runtime message.
+    Deliver { dst: NodeId, msg: Msg },
+    /// A sleeping thread's timer expired.
+    WakeSleeper { node: NodeId, thread: ThreadUid },
+    /// A new worker joins the pool (paper §2).
+    Join { spec: NodeSpec },
+}
+
+struct Worker {
+    #[allow(dead_code)]
+    id: NodeId,
+    model: &'static CostModel,
+    heap: Heap,
+    env: NodeEnv,
+    threads: HashMap<ThreadUid, Thread>,
+    ready: VecDeque<ThreadUid>,
+    cpu_free: Vec<u64>,
+    cpu_busy: Vec<bool>,
+}
+
+impl Worker {
+    fn live(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// The distributed runtime.
+pub struct Cluster {
+    config: ClusterConfig,
+    image: Arc<Image>,
+    rewrite: Option<RewriteStats>,
+    workers: Vec<Worker>,
+    net: Network,
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    payloads: Vec<Option<Ev>>,
+    seq: u64,
+    thread_node: HashMap<ThreadUid, NodeId>,
+    next_uid: ThreadUid,
+    live_threads: usize,
+    total_threads: u32,
+    console: Vec<String>,
+    errors: Vec<(ThreadUid, VmError)>,
+    ops: u64,
+    finish_time: u64,
+    lb: BalancerState,
+    thread_main: MethodId,
+    thread_class: ClassId,
+    /// Spawns dispatched but not yet delivered, per node — counted into the
+    /// load-balancing loads so a burst of starts still spreads out.
+    in_flight: Vec<u32>,
+    /// Serialized size of the rewritten program (class distribution cost).
+    class_bytes: usize,
+    /// Virtual time spent distributing class files before the run.
+    setup_ps: u64,
+}
+
+impl Cluster {
+    /// Prepare a run: rewrite (JavaSplit mode), load, create workers, set up
+    /// the shared `C_static` singletons and place `main` on worker 0.
+    pub fn new(config: ClusterConfig, program: &Program) -> Result<Cluster, ClusterError> {
+        if config.nodes.is_empty() {
+            return Err(ClusterError::Config("at least one node required".into()));
+        }
+        if config.mode == Mode::Baseline && config.nodes.len() != 1 {
+            return Err(ClusterError::Config("baseline mode runs on exactly one node".into()));
+        }
+
+        let (image, rewrite, class_bytes) = match config.mode {
+            Mode::Baseline => {
+                let image = Image::load(program).map_err(ClusterError::Load)?;
+                (image, None, 0usize)
+            }
+            Mode::JavaSplit => {
+                let rw = jsplit_rewriter::rewrite_program(program).map_err(ClusterError::Rewrite)?;
+                let image = Image::load(&rw.program).map_err(ClusterError::Load)?;
+                // §2: "the resulting rewritten classes are sent to one of
+                // the worker nodes" — class distribution is real traffic.
+                let bytes = jsplit_mjvm::classfile_io::encode_program(&rw.program).len();
+                (image, Some(rw.stats), bytes)
+            }
+        };
+        let image = Arc::new(image);
+        let thread_class = image.class_id_any(stdlib::THREAD).expect("Thread class");
+        let thread_main = image
+            .resolve_method(
+                image.class_id_any(stdlib::JSRUNTIME).expect("JSRuntime"),
+                &Sig::new("threadMain", &[jsplit_mjvm::Ty::Ref], None),
+            )
+            .expect("threadMain");
+
+        let links: Vec<LinkParams> = config
+            .nodes
+            .iter()
+            .map(|s| {
+                let m = s.profile.cost_model();
+                LinkParams { base_ns: m.net_base_ns, per_byte_ns: m.net_per_byte_ns }
+            })
+            .collect();
+        let net = Network::new(links);
+
+        let mut workers = Vec::with_capacity(config.nodes.len());
+        for (i, spec) in config.nodes.iter().enumerate() {
+            workers.push(make_worker(i as NodeId, *spec, &config, &image, thread_class));
+        }
+
+        let mut cluster = Cluster {
+            lb: BalancerState::new(config.balancer),
+            config,
+            image,
+            rewrite,
+            workers,
+            net,
+            events: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            thread_node: HashMap::new(),
+            next_uid: 0,
+            live_threads: 0,
+            total_threads: 0,
+            console: Vec::new(),
+            errors: Vec::new(),
+            ops: 0,
+            finish_time: 0,
+            thread_main,
+            thread_class,
+            in_flight: Vec::new(),
+            class_bytes,
+            setup_ps: 0,
+        };
+
+        // Ship the rewritten class files to every worker during *setup*.
+        // Like the paper's evaluation, the measured execution window starts
+        // once the pool is ready, so distribution is reported as setup time
+        // (and counted in the traffic statistics) but does not delay t = 0.
+        if cluster.config.mode == Mode::JavaSplit {
+            for i in 1..cluster.workers.len() {
+                let at = cluster.net.send(0, 0, i as NodeId, class_bytes, jsplit_net::MsgKind::Control);
+                cluster.setup_ps = cluster.setup_ps.max(at);
+            }
+        }
+
+        if cluster.config.mode == Mode::JavaSplit {
+            cluster.bootstrap_statics();
+        }
+
+        // Mid-run joins.
+        let joins = cluster.config.joins.clone();
+        for (t, spec) in joins {
+            cluster.push(t, Ev::Join { spec });
+        }
+
+        // The main thread starts on worker 0 (§2: the rewritten classes are
+        // sent to one of the worker nodes that starts executing main()).
+        let main = cluster.image.main_method;
+        let locals = cluster.image.method(main).max_locals;
+        let frame = Frame::new(main, locals, vec![], false);
+        cluster.add_thread(CONSOLE_NODE, frame, None, 0);
+
+        Ok(cluster)
+    }
+
+    /// Create the shared `C_static` singletons on worker 0 and fill every
+    /// node's constant holder slot with a (placeholder) local copy (§4.2).
+    fn bootstrap_statics(&mut self) {
+        let image = self.image.clone();
+        let mut singletons: Vec<(ClassId, u16, Gid, ClassId)> = Vec::new();
+        for rc in &image.classes {
+            let Some(slot) = rc.static_names.iter().position(|n| &**n == STATICS_HOLDER) else {
+                continue;
+            };
+            let comp_name = format!("{}{}", rc.name, jsplit_rewriter::STATIC_SUFFIX);
+            let comp = image.class_id(&comp_name).expect("companion class exists");
+            // Master on worker 0.
+            let w0 = &mut self.workers[0];
+            let zeros = image.class(comp).zeroed_fields();
+            let master = w0.heap.alloc_object(comp, zeros.len(), zeros);
+            let gid = w0.env.js().dsm.share_object(&mut w0.heap, master);
+            w0.heap.set_static(rc.id, slot as u16, Value::Ref(master));
+            singletons.push((rc.id, slot as u16, gid, comp));
+        }
+        for w in self.workers.iter_mut().skip(1) {
+            for (class, slot, gid, comp) in &singletons {
+                let local = w.env.js().dsm.ensure_cached(&mut w.heap, &image, *gid, *comp);
+                w.heap.set_static(*class, *slot, Value::Ref(local));
+            }
+        }
+    }
+
+    fn push(&mut self, time: u64, ev: Ev) {
+        let idx = self.payloads.len();
+        self.payloads.push(Some(ev));
+        self.events.push(Reverse((time, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn add_thread(&mut self, node: NodeId, frame: Frame, thread_obj: Option<ObjRef>, now: u64) -> ThreadUid {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let mut th = Thread::new(uid, frame);
+        th.thread_obj = thread_obj;
+        if let Some(obj) = thread_obj {
+            // Thread layout: target(0), priority(1), alive(2).
+            if let jsplit_mjvm::ObjPayload::Fields(f) = &self.workers[node as usize].heap.get(obj).payload {
+                if let Some(p) = f.get(1) {
+                    th.priority = p.as_i32().clamp(1, 10);
+                }
+            }
+        }
+        self.workers[node as usize].threads.insert(uid, th);
+        self.workers[node as usize].ready.push_back(uid);
+        self.thread_node.insert(uid, node);
+        self.live_threads += 1;
+        self.total_threads += 1;
+        self.schedule(node, now);
+        uid
+    }
+
+    /// Assign ready threads to idle CPUs.
+    fn schedule(&mut self, node: NodeId, now: u64) {
+        let mut slices = Vec::new();
+        {
+            let w = &mut self.workers[node as usize];
+            while !w.ready.is_empty() {
+                let Some(cpu) = (0..w.cpu_free.len())
+                    .filter(|&c| !w.cpu_busy[c])
+                    .min_by_key(|&c| w.cpu_free[c])
+                else {
+                    break;
+                };
+                let thread = w.ready.pop_front().unwrap();
+                if !w.threads.contains_key(&thread) {
+                    continue;
+                }
+                w.cpu_busy[cpu] = true;
+                let start = now.max(w.cpu_free[cpu]);
+                slices.push((start, cpu, thread));
+            }
+        }
+        for (start, cpu, thread) in slices {
+            self.push(start, Ev::Slice { node, cpu, thread });
+        }
+    }
+
+    fn make_ready(&mut self, node: NodeId, thread: ThreadUid, now: u64) {
+        let w = &mut self.workers[node as usize];
+        if w.threads.contains_key(&thread) && !w.ready.contains(&thread) {
+            w.ready.push_back(thread);
+            self.schedule(node, now);
+        }
+    }
+
+    /// Drain a worker's environment effects (DSM actions, spawns, sleepers,
+    /// console sends) at virtual time `now`.
+    fn drain_effects(&mut self, node: NodeId, now: u64) {
+        // DSM actions + env sends + spawns + sleepers.
+        let (actions, sends, spawns, sleepers) = {
+            let w = &mut self.workers[node as usize];
+            match &mut w.env {
+                NodeEnv::Js(e) => (
+                    e.dsm.drain_actions(),
+                    std::mem::take(&mut e.sends),
+                    std::mem::take(&mut e.spawns),
+                    std::mem::take(&mut e.sleepers),
+                ),
+                NodeEnv::Baseline(e) => {
+                    let spawns: Vec<(ObjRef, i32)> =
+                        e.spawns.drain(..).map(|o| (o, 5)).collect();
+                    let wakes: Vec<ThreadUid> = e.wakes.drain(..).collect();
+                    let sleepers = std::mem::take(&mut e.sleepers);
+                    let actions: Vec<Action> =
+                        wakes.into_iter().map(|t| Action::Wake { thread: t }).collect();
+                    (actions, Vec::new(), spawns, sleepers)
+                }
+            }
+        };
+
+        for a in actions {
+            match a {
+                Action::Wake { thread } => self.make_ready(node, thread, now),
+                Action::Send { dst, msg } => self.transmit(now, node, dst, msg),
+            }
+        }
+        for (dst, msg) in sends {
+            self.transmit(now, node, dst, msg);
+        }
+        for (wake, thread) in sleepers {
+            self.push(wake.max(now), Ev::WakeSleeper { node, thread });
+        }
+        for (thread_obj, priority) in spawns {
+            self.dispatch_spawn(node, thread_obj, priority, now);
+        }
+    }
+
+    fn transmit(&mut self, now: u64, src: NodeId, dst: NodeId, msg: Msg) {
+        let bytes = msg.wire_len();
+        let at = self.net.send(now, src, dst, bytes, msg.kind());
+        self.push(at, Ev::Deliver { dst, msg });
+    }
+
+    /// Place a newly started thread per the load-balancing function (§2).
+    fn dispatch_spawn(&mut self, origin: NodeId, thread_obj: ObjRef, priority: i32, now: u64) {
+        match self.config.mode {
+            Mode::Baseline => {
+                let m = self.image.method(self.thread_main);
+                let frame = Frame::new(self.thread_main, m.max_locals, vec![Value::Ref(thread_obj)], false);
+                self.add_thread(origin, frame, Some(thread_obj), now);
+            }
+            Mode::JavaSplit => {
+                self.in_flight.resize(self.workers.len(), 0);
+                let loads: Vec<usize> = self
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| w.live() + self.in_flight[i] as usize)
+                    .collect();
+                let dst = self.lb.pick(&loads, origin);
+                self.in_flight[dst as usize] += 1;
+                let image = self.image.clone();
+                let msg = {
+                    let w = &mut self.workers[origin as usize];
+                    let env = w.env.js();
+                    env.dsm.prepare_spawn(&mut w.heap, &image, thread_obj, priority)
+                };
+                // Shipping may have shared objects; nothing else to drain
+                // (prepare_spawn itself queues no sends).
+                self.transmit(now, origin, dst, msg);
+            }
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> RunReport {
+        let mut aborted = false;
+        while let Some(Reverse((time, _, idx))) = self.events.pop() {
+            // Spawned-but-undelivered threads count as live: a main that
+            // exits immediately after `start()` must not end the run.
+            let spawning: u32 = self.in_flight.iter().sum();
+            if self.live_threads == 0 && spawning == 0 {
+                break;
+            }
+            if self.ops > self.config.max_ops {
+                aborted = true;
+                break;
+            }
+            let ev = self.payloads[idx].take().expect("event payload");
+            match ev {
+                Ev::Slice { node, cpu, thread } => self.run_slice(time, node, cpu, thread),
+                Ev::Deliver { dst, msg } => self.deliver(time, dst, msg),
+                Ev::WakeSleeper { node, thread } => self.make_ready(node, thread, time),
+                Ev::Join { spec } => self.join_worker(time, spec),
+            }
+        }
+        let deadlocked = self.live_threads > 0 && !aborted;
+        // Collect console output from the console node's environment.
+        match &mut self.workers[CONSOLE_NODE as usize].env {
+            NodeEnv::Js(e) => self.console.append(&mut e.console),
+            NodeEnv::Baseline(e) => self.console.append(&mut e.output),
+        }
+        RunReport {
+            exec_time_ps: self.finish_time,
+            output: self.console,
+            errors: self.errors,
+            deadlocked,
+            aborted,
+            ops: self.ops,
+            threads: self.total_threads,
+            net_per_node: self.net.stats.clone(),
+            dsm_per_node: self
+                .workers
+                .iter_mut()
+                .filter_map(|w| match &mut w.env {
+                    NodeEnv::Js(e) => Some(e.dsm.stats.clone()),
+                    NodeEnv::Baseline(_) => None,
+                })
+                .collect(),
+            rewrite: self.rewrite,
+            setup_ps: self.setup_ps,
+            class_bytes: self.class_bytes as u64,
+        }
+    }
+
+    fn run_slice(&mut self, time: u64, node: NodeId, cpu: usize, thread: ThreadUid) {
+        let image = self.image.clone();
+        let fuel = self.config.fuel;
+        let outcome = {
+            let w = &mut self.workers[node as usize];
+            let Some(mut th) = w.threads.remove(&thread) else {
+                w.cpu_busy[cpu] = false;
+                return;
+            };
+            w.env.set_now(time);
+            let model = w.model;
+            let res = {
+                let mut ctx = StepCtx { image: &image, heap: &mut w.heap, env: &mut w.env, cost: model };
+                interp::step(&mut th, &mut ctx, fuel)
+            };
+            match res {
+                Ok(out) => {
+                    let end = time + out.cost.max(1);
+                    w.cpu_free[cpu] = end;
+                    w.cpu_busy[cpu] = false;
+                    self.ops += out.ops;
+                    match out.state {
+                        StepState::Running => {
+                            w.threads.insert(thread, th);
+                            w.ready.push_back(thread);
+                        }
+                        StepState::Blocked => {
+                            w.threads.insert(thread, th);
+                        }
+                        StepState::Done => {
+                            self.live_threads -= 1;
+                            self.thread_node.remove(&thread);
+                            self.finish_time = self.finish_time.max(end);
+                            // Thread exit is a release point: flush its
+                            // interval now so joiners don't wait behind it,
+                            // and hand the Thread object's lock back to its
+                            // home, where the joiner lives.
+                            if let NodeEnv::Js(e) = &mut w.env {
+                                e.dsm.flush_interval(&mut w.heap);
+                                if let Some(tobj) = th.thread_obj {
+                                    if let Some(gid) = w.heap.get(tobj).dsm.gid {
+                                        e.dsm.release_ownership_to_home(&mut w.heap, gid);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(end)
+                }
+                Err(e) => {
+                    let end = time + 1;
+                    w.cpu_free[cpu] = end;
+                    w.cpu_busy[cpu] = false;
+                    self.errors.push((thread, e));
+                    self.live_threads -= 1;
+                    self.thread_node.remove(&thread);
+                    self.finish_time = self.finish_time.max(end);
+                    Some(end)
+                }
+            }
+        };
+        if let Some(end) = outcome {
+            self.drain_effects(node, end);
+            self.schedule(node, end);
+        }
+    }
+
+    fn deliver(&mut self, time: u64, dst: NodeId, msg: Msg) {
+        let image = self.image.clone();
+        match msg {
+            Msg::Println { line, .. } => {
+                // Forwarded console output lands in the console node's own
+                // buffer so local and remote lines stay in arrival order.
+                match &mut self.workers[dst as usize].env {
+                    NodeEnv::Js(e) => e.console.push(line),
+                    NodeEnv::Baseline(e) => e.output.push(line),
+                }
+            }
+            Msg::SpawnThread { thread_gid, class, state, priority } => {
+                self.in_flight.resize(self.workers.len(), 0);
+                let slot = &mut self.in_flight[dst as usize];
+                *slot = slot.saturating_sub(1);
+                let obj = {
+                    let w = &mut self.workers[dst as usize];
+                    let env = w.env.js();
+                    env.dsm.install_spawned(&mut w.heap, &image, thread_gid, class, &state)
+                };
+                let m = self.image.method(self.thread_main);
+                let frame = Frame::new(self.thread_main, m.max_locals, vec![Value::Ref(obj)], false);
+                let uid = self.add_thread(dst, frame, Some(obj), time);
+                self.workers[dst as usize]
+                    .threads
+                    .get_mut(&uid)
+                    .unwrap()
+                    .priority = priority.clamp(1, 10);
+                self.drain_effects(dst, time);
+            }
+            other => {
+                let handler_ps = {
+                    let w = &mut self.workers[dst as usize];
+                    let env = w.env.js();
+                    env.dsm.handle(&mut w.heap, &image, other);
+                    w.model.handler_fixed_ns * 1_000
+                };
+                self.drain_effects(dst, time + handler_ps);
+            }
+        }
+    }
+
+    fn join_worker(&mut self, time: u64, spec: NodeSpec) {
+        let m = spec.profile.cost_model();
+        let id = self.net.add_node(LinkParams { base_ns: m.net_base_ns, per_byte_ns: m.net_per_byte_ns });
+        let image = self.image.clone();
+        let mut w = make_worker(id, spec, &self.config, &image, self.thread_class);
+        // The joiner downloads the rewritten classes first (the paper's
+        // applet workers fetch them over HTTP).
+        if self.config.mode == Mode::JavaSplit {
+            let at = self.net.send(time, 0, id, self.class_bytes, jsplit_net::MsgKind::Control);
+            for c in &mut w.cpu_free {
+                *c = at;
+            }
+        }
+        // Late joiners also need the statics singletons (paper: new nodes
+        // join "simply by pointing a browser at the worker applet").
+        if self.config.mode == Mode::JavaSplit {
+            let singletons: Vec<(ClassId, u16, Gid, ClassId)> = {
+                let w0 = &mut self.workers[0];
+                image
+                    .classes
+                    .iter()
+                    .filter_map(|rc| {
+                        let slot = rc.static_names.iter().position(|n| &**n == STATICS_HOLDER)?;
+                        let Value::Ref(master) = w0.heap.get_static(rc.id, slot as u16) else {
+                            return None;
+                        };
+                        let gid = w0.heap.get(master).dsm.gid?;
+                        Some((rc.id, slot as u16, gid, w0.heap.get(master).class))
+                    })
+                    .collect()
+            };
+            for (class, slot, gid, comp) in singletons {
+                let local = w.env.js().dsm.ensure_cached(&mut w.heap, &image, gid, comp);
+                w.heap.set_static(class, slot, Value::Ref(local));
+            }
+        }
+        self.workers.push(w);
+    }
+}
+
+fn make_worker(id: NodeId, spec: NodeSpec, config: &ClusterConfig, image: &Arc<Image>, thread_class: ClassId) -> Worker {
+    let model = spec.profile.cost_model();
+    let mut heap = Heap::new();
+    heap.init_statics(image);
+    let env = match config.mode {
+        Mode::Baseline => NodeEnv::Baseline(jsplit_mjvm::BaselineEnv::new(model, thread_class)),
+        Mode::JavaSplit => NodeEnv::Js(JsEnv::new(
+            model,
+            id,
+            DsmNode::new(
+                id,
+                DsmConfig {
+                    mode: config.protocol,
+                    disable_local_locks: config.disable_local_locks,
+                    array_chunk: config.array_chunk,
+                },
+            ),
+            thread_class,
+        )),
+    };
+    Worker {
+        id,
+        model,
+        heap,
+        env,
+        threads: HashMap::new(),
+        ready: VecDeque::new(),
+        cpu_free: vec![0; config.cpus_per_node],
+        cpu_busy: vec![false; config.cpus_per_node],
+    }
+}
+
+/// Convenience: configure-and-run in one call.
+pub fn run_cluster(config: ClusterConfig, program: &Program) -> Result<RunReport, ClusterError> {
+    Ok(Cluster::new(config, program)?.run())
+}

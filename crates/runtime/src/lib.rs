@@ -1,0 +1,33 @@
+//! # jsplit-runtime — the JavaSplit distributed runtime
+//!
+//! Ties every substrate together into the system of the paper's Figure 1:
+//! a [`exec::Cluster`] administers a pool of worker nodes (paper §2), each
+//! with its own heap, its own MTS-HLRC engine and two virtual CPUs, all
+//! driven by one deterministic discrete-event scheduler whose virtual time
+//! advances by the per-instruction costs of each node's JVM-brand cost model
+//! and by the simulated network's message latencies.
+//!
+//! Two execution modes:
+//!
+//! * [`config::Mode::Baseline`] — the *original* (unrewritten) program on a
+//!   single node with classic monitors: the paper's "Original" bars and the
+//!   denominator of every speedup.
+//! * [`config::Mode::JavaSplit`] — the program is passed through the
+//!   `jsplit-rewriter`, the `C_static` singletons are created and shared,
+//!   the main method starts on worker 0, and newly started threads are
+//!   shipped to nodes chosen by a plug-in load-balancing function (least
+//!   loaded by default, as in the paper).
+//!
+//! Worker nodes may join mid-execution ([`config::ClusterConfig::joins`]),
+//! and nodes of different JVM brands mix freely in one run (paper §6).
+
+pub mod balance;
+pub mod config;
+pub mod env;
+pub mod exec;
+pub mod report;
+
+pub use balance::{Balancer, LoadBalancer};
+pub use config::{ClusterConfig, Mode, NodeSpec};
+pub use exec::Cluster;
+pub use report::RunReport;

@@ -1,0 +1,71 @@
+//! Run reports: everything the benchmarks and tests observe about a run.
+
+use jsplit_dsm::DsmStats;
+use jsplit_mjvm::heap::ThreadUid;
+use jsplit_mjvm::interp::VmError;
+use jsplit_net::NetStats;
+use jsplit_rewriter::RewriteStats;
+
+/// The result of a completed cluster run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual time at which the last application thread finished.
+    pub exec_time_ps: u64,
+    /// Console output in arrival order at the console node.
+    pub output: Vec<String>,
+    /// Threads that died with a trap.
+    pub errors: Vec<(ThreadUid, VmError)>,
+    /// `true` if the run stalled with live but unrunnable threads.
+    pub deadlocked: bool,
+    /// `true` if the `max_ops` guard aborted the run.
+    pub aborted: bool,
+    /// Instructions retired across all nodes.
+    pub ops: u64,
+    /// Threads created over the run (including main).
+    pub threads: u32,
+    /// Per-node network statistics.
+    pub net_per_node: Vec<NetStats>,
+    /// Per-node DSM statistics (empty in baseline mode).
+    pub dsm_per_node: Vec<DsmStats>,
+    /// Rewriter statistics (JavaSplit mode only).
+    pub rewrite: Option<RewriteStats>,
+    /// Setup time: distributing the rewritten class files to the initial
+    /// pool (paper §2) — excluded from `exec_time_ps`, like the paper's
+    /// measurement window.
+    pub setup_ps: u64,
+    /// Serialized size of the shipped program.
+    pub class_bytes: u64,
+}
+
+impl RunReport {
+    /// Execution time in (virtual) seconds.
+    pub fn exec_time_secs(&self) -> f64 {
+        self.exec_time_ps as f64 / jsplit_mjvm::cost::PS_PER_SEC as f64
+    }
+
+    /// Cluster-wide network totals.
+    pub fn net_total(&self) -> NetStats {
+        let mut t = NetStats::default();
+        for s in &self.net_per_node {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Cluster-wide DSM totals.
+    pub fn dsm_total(&self) -> DsmStats {
+        let mut t = DsmStats::default();
+        for s in &self.dsm_per_node {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Assert the run completed cleanly (test helper).
+    pub fn expect_clean(&self) -> &Self {
+        assert!(!self.deadlocked, "run deadlocked");
+        assert!(!self.aborted, "run aborted by max_ops");
+        assert!(self.errors.is_empty(), "thread traps: {:?}", self.errors);
+        self
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the §4.3 chunked-array extension: "in the future we
+//! plan to divide big arrays into several coherency units. The wrapper
+//! approach allows this extension by allocating several instances of the
+//! javasplit fields, one for each region."
+//!
+//! Workload: workers on different nodes each read and write a *disjoint
+//! block* of one large shared array. With the array as a single CU every
+//! node fetches (and flushes notices for) the whole thing; with region CUs
+//! each node only moves its own blocks across the wire.
+
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::ClusterConfig;
+
+/// `workers` threads each fill block `i` of a shared `len`-element array
+/// with `base + offset`, then main sums the array.
+fn block_writers(len: i32, workers: i32) -> Program {
+    let block = len / workers;
+    assert_eq!(len % workers, 0);
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("W", "java.lang.Thread", |cb| {
+        cb.field("arr", Ty::Ref).field("id", Ty::I32);
+        cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+            m.load(0).load(1).putfield("W", "arr");
+            m.load(0).load(2).putfield("W", "id").ret();
+        });
+        cb.method("run", &[], None, move |m| {
+            // for k in 0..block: arr[id*block + k] = id*1000 + k
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1);
+            m.bind(top);
+            m.load(1).const_i32(block).if_icmp(Cmp::Ge, end);
+            m.load(0).getfield("W", "arr");
+            m.load(0).getfield("W", "id").const_i32(block).imul().load(1).iadd();
+            m.load(0).getfield("W", "id").const_i32(1000).imul().load(1).iadd();
+            m.astore(ElemTy::I32);
+            m.iinc(1, 1).goto(top);
+            m.bind(end).ret();
+        });
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            m.const_i32(len).newarray(ElemTy::I32).store(0);
+            m.const_i32(workers).newarray(ElemTy::Ref).store(1);
+            jsplit_apps::common::spawn_join_all(m, workers, 1, 2, |m| {
+                m.construct("W", &[Ty::Ref, Ty::I32], |m| {
+                    m.load(0).load(2);
+                });
+            });
+            // checksum
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i64(0).store(3).const_i32(0).store(2);
+            m.bind(top);
+            m.load(2).const_i32(len).if_icmp(Cmp::Ge, end);
+            m.load(3).load(0).load(2).aload(ElemTy::I32).i2l().ladd().store(3);
+            m.iinc(2, 1).goto(top);
+            m.bind(end).load(3).println_i64();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
+fn expected(len: i32, workers: i32) -> String {
+    let block = len / workers;
+    let mut sum = 0i64;
+    for id in 0..workers {
+        for k in 0..block {
+            sum += (id * 1000 + k) as i64;
+        }
+    }
+    sum.to_string()
+}
+
+#[test]
+fn chunked_arrays_produce_identical_results() {
+    let p = block_writers(1024, 4);
+    let want = vec![expected(1024, 4)];
+    let whole = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 4), &p).unwrap();
+    whole.expect_clean();
+    assert_eq!(whole.output, want);
+    for chunk in [64u32, 256, 4096 /* larger than the array: no chunking */] {
+        let cfg = ClusterConfig::javasplit(JvmProfile::IbmSim, 4).with_array_chunk(chunk);
+        let r = run_cluster(cfg, &p).unwrap();
+        r.expect_clean();
+        assert_eq!(r.output, want, "chunk={chunk}");
+    }
+}
+
+#[test]
+fn chunking_moves_fewer_bytes_for_disjoint_blocks() {
+    let p = block_writers(4096, 4);
+    let whole = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 4), &p).unwrap();
+    let chunked = run_cluster(
+        ClusterConfig::javasplit(JvmProfile::IbmSim, 4).with_array_chunk(1024),
+        &p,
+    )
+    .unwrap();
+    whole.expect_clean();
+    chunked.expect_clean();
+    assert_eq!(whole.output, chunked.output);
+    // Compare protocol traffic only (class distribution — Control kind —
+    // is identical in both configurations).
+    let proto_bytes = |r: &jsplit_runtime::RunReport| {
+        let t = r.net_total();
+        t.bytes_sent - t.bytes_by_kind[7] // 7 = MsgKind::Control
+    };
+    let (bw, bc) = (proto_bytes(&whole), proto_bytes(&chunked));
+    assert!(
+        bc * 2 < bw,
+        "region CUs must cut wire bytes substantially: whole={bw} chunked={bc}"
+    );
+}
+
+#[test]
+fn chunking_works_under_both_protocols() {
+    let p = block_writers(512, 4);
+    let want = vec![expected(512, 4)];
+    for mode in [jsplit_dsm::ProtocolMode::MtsHlrc, jsplit_dsm::ProtocolMode::ClassicHlrc] {
+        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 2)
+            .with_protocol(mode)
+            .with_array_chunk(128);
+        let r = run_cluster(cfg, &p).unwrap();
+        r.expect_clean();
+        assert_eq!(r.output, want, "{mode:?}");
+    }
+}
+
+#[test]
+fn chunking_is_deterministic() {
+    let p = block_writers(512, 4);
+    let cfg = || ClusterConfig::javasplit(JvmProfile::IbmSim, 3).with_array_chunk(64);
+    let a = run_cluster(cfg(), &p).unwrap();
+    let b = run_cluster(cfg(), &p).unwrap();
+    assert_eq!(a.exec_time_ps, b.exec_time_ps);
+    assert_eq!(a.net_total().msgs_sent, b.net_total().msgs_sent);
+}

@@ -1,0 +1,461 @@
+//! End-to-end tests of the distributed runtime: original multithreaded MJVM
+//! programs are rewritten and executed on simulated clusters, and their
+//! observable behaviour is compared against the single-node baseline — the
+//! transparency claim of the paper (§1: "allowing the programmer to be
+//! unaware of the distributed nature of the underlying environment").
+
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_mjvm::instr::{Cmp, ElemTy, Ty};
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::{Balancer, ClusterConfig, NodeSpec};
+
+/// A worker-thread program: N workers each add their id into a shared
+/// accumulator under a lock, main joins all and prints the total.
+fn counter_program(nthreads: i32) -> Program {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("Acc", "java.lang.Object", |cb| {
+        cb.default_ctor("java.lang.Object");
+        cb.field("total", Ty::I32);
+        cb.synchronized_method("add", &[Ty::I32], None, |m| {
+            m.load(0).load(0).getfield("Acc", "total").load(1).iadd().putfield("Acc", "total").ret();
+        });
+        cb.synchronized_method("get", &[], Some(Ty::I32), |m| {
+            m.load(0).getfield("Acc", "total").ret_val();
+        });
+    });
+    pb.class("W", "java.lang.Thread", |cb| {
+        cb.field("acc", Ty::Ref).field("id", Ty::I32);
+        cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+            m.load(0).load(1).putfield("W", "acc");
+            m.load(0).load(2).putfield("W", "id").ret();
+        });
+        cb.method("run", &[], None, |m| {
+            m.load(0)
+                .getfield("W", "acc")
+                .load(0)
+                .getfield("W", "id")
+                .invokevirtual("add", &[Ty::I32], None)
+                .ret();
+        });
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            m.construct("Acc", &[], |_| {}).store(0);
+            // workers array
+            m.const_i32(nthreads).newarray(ElemTy::Ref).store(1);
+            let mk_top = m.new_label();
+            let mk_end = m.new_label();
+            m.const_i32(0).store(2);
+            m.bind(mk_top);
+            m.load(2).const_i32(nthreads).if_icmp(Cmp::Ge, mk_end);
+            m.load(1).load(2);
+            m.construct("W", &[Ty::Ref, Ty::I32], |m| {
+                m.load(0).load(2).const_i32(1).iadd();
+            });
+            m.astore(ElemTy::Ref);
+            m.load(1).load(2).aload(ElemTy::Ref).invokevirtual("start", &[], None);
+            m.iinc(2, 1).goto(mk_top);
+            m.bind(mk_end);
+            // join all
+            let j_top = m.new_label();
+            let j_end = m.new_label();
+            m.const_i32(0).store(2);
+            m.bind(j_top);
+            m.load(2).const_i32(nthreads).if_icmp(Cmp::Ge, j_end);
+            m.load(1).load(2).aload(ElemTy::Ref).invokevirtual("join", &[], None);
+            m.iinc(2, 1).goto(j_top);
+            m.bind(j_end);
+            m.load(0).invokevirtual("get", &[], Some(Ty::I32)).println_i32();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
+/// Producer/consumer across a shared box with wait/notify.
+fn pingpong_program(rounds: i32) -> Program {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("Chan", "java.lang.Object", |cb| {
+        cb.default_ctor("java.lang.Object");
+        cb.field("value", Ty::I32).field("full", Ty::I32);
+        cb.synchronized_method("put", &[Ty::I32], None, |m| {
+            let top = m.new_label();
+            let go = m.new_label();
+            m.bind(top);
+            m.load(0).getfield("Chan", "full").if_i(Cmp::Eq, go);
+            m.load(0).invokevirtual("wait", &[], None);
+            m.goto(top);
+            m.bind(go);
+            m.load(0).load(1).putfield("Chan", "value");
+            m.load(0).const_i32(1).putfield("Chan", "full");
+            m.load(0).invokevirtual("notifyAll", &[], None);
+            m.ret();
+        });
+        cb.synchronized_method("take", &[], Some(Ty::I32), |m| {
+            let top = m.new_label();
+            let go = m.new_label();
+            m.bind(top);
+            m.load(0).getfield("Chan", "full").if_i(Cmp::Ne, go);
+            m.load(0).invokevirtual("wait", &[], None);
+            m.goto(top);
+            m.bind(go);
+            m.load(0).const_i32(0).putfield("Chan", "full");
+            m.load(0).invokevirtual("notifyAll", &[], None);
+            m.load(0).getfield("Chan", "value").ret_val();
+        });
+    });
+    pb.class("Producer", "java.lang.Thread", |cb| {
+        cb.field("chan", Ty::Ref).field("n", Ty::I32);
+        cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+            m.load(0).load(1).putfield("Producer", "chan");
+            m.load(0).load(2).putfield("Producer", "n").ret();
+        });
+        cb.method("run", &[], None, |m| {
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1);
+            m.bind(top);
+            m.load(1).load(0).getfield("Producer", "n").if_icmp(Cmp::Ge, end);
+            m.load(0).getfield("Producer", "chan").load(1).invokevirtual("put", &[Ty::I32], None);
+            m.iinc(1, 1).goto(top);
+            m.bind(end).ret();
+        });
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            m.construct("Chan", &[], |_| {}).store(0);
+            m.construct("Producer", &[Ty::Ref, Ty::I32], |m| {
+                m.load(0).const_i32(rounds);
+            })
+            .invokevirtual("start", &[], None);
+            // consume `rounds` values, summing them
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1).const_i32(0).store(2);
+            m.bind(top);
+            m.load(2).const_i32(rounds).if_icmp(Cmp::Ge, end);
+            m.load(1).load(0).invokevirtual("take", &[], Some(Ty::I32)).iadd().store(1);
+            m.iinc(2, 1).goto(top);
+            m.bind(end).load(1).println_i32();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
+/// Program exercising static fields through the C_static transformation.
+fn statics_program() -> Program {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("G", "java.lang.Object", |cb| {
+        cb.static_field("counter", Ty::I32).static_field("label", Ty::Ref);
+    });
+    pb.class("W", "java.lang.Thread", |cb| {
+        cb.default_ctor("java.lang.Thread");
+        cb.method("run", &[], None, |m| {
+            // counter += 10 (synchronized on the thread object to create the
+            // release edge back to main's join)
+            m.getstatic("G", "counter").const_i32(10).iadd().putstatic("G", "counter");
+            m.ret();
+        });
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, |m| {
+            m.const_i32(32).putstatic("G", "counter");
+            m.ldc_str("done").putstatic("G", "label");
+            m.construct("W", &[], |_| {}).store(0);
+            m.load(0).invokevirtual("start", &[], None);
+            m.load(0).invokevirtual("join", &[], None);
+            m.getstatic("G", "counter").println_i32();
+            m.getstatic("G", "label").println_str();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
+fn baseline_output(p: &Program) -> Vec<String> {
+    let r = run_cluster(ClusterConfig::baseline(JvmProfile::SunSim, 2), p).expect("baseline");
+    r.expect_clean();
+    r.output.clone()
+}
+
+#[test]
+fn counter_distributed_matches_baseline() {
+    let p = counter_program(6);
+    let expected = baseline_output(&p);
+    assert_eq!(expected, vec!["21"]); // 1+2+..+6
+    for nodes in [1, 2, 4] {
+        let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, nodes), &p)
+            .expect("cluster");
+        r.expect_clean();
+        assert_eq!(r.output, expected, "{nodes} nodes");
+        assert_eq!(r.threads, 7);
+    }
+}
+
+#[test]
+fn counter_on_ibm_profile() {
+    let p = counter_program(4);
+    let r = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 2), &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["10"]);
+}
+
+#[test]
+fn pingpong_across_nodes() {
+    let p = pingpong_program(8);
+    let expected = baseline_output(&p);
+    assert_eq!(expected, vec!["28"]); // 0+1+..+7
+    let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 2), &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, expected);
+    // wait/notify must not have generated any extra traffic beyond lock
+    // transfers: the DSM counters record them as local operations.
+    let d = r.dsm_total();
+    assert!(d.waits > 0, "the channel actually blocked");
+    assert!(d.notifies > 0);
+}
+
+#[test]
+fn statics_work_through_companions() {
+    let p = statics_program();
+    let expected = baseline_output(&p);
+    assert_eq!(expected, vec!["42", "done"]);
+    for nodes in [1, 3] {
+        let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, nodes), &p).expect("cluster");
+        r.expect_clean();
+        assert_eq!(r.output, expected, "{nodes} nodes");
+    }
+}
+
+#[test]
+fn heterogeneous_cluster_mixes_jvm_brands() {
+    // Paper §6: "we have successfully employed nodes with different types of
+    // JVMs in the same executions".
+    let p = counter_program(8);
+    let cfg = ClusterConfig::heterogeneous(vec![
+        NodeSpec::sun(),
+        NodeSpec::ibm(),
+        NodeSpec::sun(),
+        NodeSpec::ibm(),
+    ]);
+    let r = run_cluster(cfg, &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["36"]);
+}
+
+#[test]
+fn threads_actually_distribute() {
+    let p = counter_program(8);
+    let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 4), &p).expect("cluster");
+    r.expect_clean();
+    // Spawn messages must have crossed the network (least-loaded spreads 8
+    // workers over 4 nodes; at least 6 leave node 0).
+    let spawns: u64 = r
+        .net_per_node
+        .iter()
+        .map(|s| s.sent_of(jsplit_net::MsgKind::Spawn))
+        .sum();
+    assert!(spawns >= 6, "spawn messages: {spawns}");
+    // And real DSM traffic happened: fetches + diffs + grants.
+    let d = r.dsm_total();
+    assert!(d.fetches > 0);
+    assert!(d.diffs_sent > 0);
+    assert!(d.grants_sent > 0);
+}
+
+#[test]
+fn worker_joining_mid_run_receives_threads() {
+    let p = counter_program(10);
+    // One initial node; a second joins almost immediately. Small quanta so
+    // the join interleaves with main's spawn loop (placement decisions are
+    // made between slices).
+    let mut cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1)
+        .with_joins(vec![(1, NodeSpec::sun())]);
+    cfg.fuel = 64;
+    let r = run_cluster(cfg, &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["55"]);
+    assert_eq!(r.net_per_node.len(), 2, "joined node registered");
+    assert!(r.net_per_node[1].msgs_recv > 0, "joined node participated");
+}
+
+#[test]
+fn round_robin_balancer_spreads_threads() {
+    let p = counter_program(6);
+    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 3).with_balancer(Balancer::RoundRobin);
+    let r = run_cluster(cfg, &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["21"]);
+}
+
+#[test]
+fn pinned_balancer_keeps_everything_local() {
+    let p = counter_program(4);
+    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 4).with_balancer(Balancer::Pinned);
+    let r = run_cluster(cfg, &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["10"]);
+    // Everything stays on node 0: no lock grants cross the wire.
+    for s in &r.net_per_node[1..] {
+        assert_eq!(s.sent_of(jsplit_net::MsgKind::LockGrant), 0);
+    }
+}
+
+#[test]
+fn classic_hlrc_mode_is_equivalent_but_chattier_in_memory() {
+    let p = counter_program(6);
+    let mts = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 3), &p).expect("mts");
+    let classic = run_cluster(
+        ClusterConfig::javasplit(JvmProfile::SunSim, 3)
+            .with_protocol(jsplit_dsm::ProtocolMode::ClassicHlrc),
+        &p,
+    )
+    .expect("classic");
+    mts.expect_clean();
+    classic.expect_clean();
+    assert_eq!(mts.output, classic.output);
+    // §3.1: MTS bounds notice storage; classic history can only be >=.
+    assert!(
+        classic.dsm_total().notices_stored_max >= mts.dsm_total().notices_stored_max,
+        "classic {} vs mts {}",
+        classic.dsm_total().notices_stored_max,
+        mts.dsm_total().notices_stored_max
+    );
+    // §3.1: only scalar mode delays releases behind acks.
+    assert_eq!(classic.dsm_total().releases_awaiting_acks, 0);
+}
+
+#[test]
+fn class_distribution_is_accounted_as_setup() {
+    let p = counter_program(3);
+    let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 3), &p).expect("cluster");
+    r.expect_clean();
+    assert!(r.class_bytes > 3_000, "stdlib+app class files: {} B", r.class_bytes);
+    assert!(r.setup_ps > 0, "distribution to 2 remote workers takes time");
+    // Baseline mode ships nothing.
+    let b = run_cluster(ClusterConfig::baseline(JvmProfile::SunSim, 2), &p).expect("baseline");
+    assert_eq!(b.setup_ps, 0);
+    assert_eq!(b.class_bytes, 0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let p = counter_program(5);
+    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 3);
+    let a = run_cluster(cfg.clone(), &p).expect("a");
+    let b = run_cluster(cfg, &p).expect("b");
+    assert_eq!(a.exec_time_ps, b.exec_time_ps);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.net_total().msgs_sent, b.net_total().msgs_sent);
+}
+
+#[test]
+fn distribution_costs_time_but_produces_parallelism() {
+    // A compute-heavy, low-sharing program must get *faster* with nodes.
+    let p = {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("W", "java.lang.Thread", |cb| {
+            cb.field("out", Ty::Ref).field("idx", Ty::I32);
+            cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+                m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+                m.load(0).load(1).putfield("W", "out");
+                m.load(0).load(2).putfield("W", "idx").ret();
+            });
+            cb.method("run", &[], None, |m| {
+                // Busy loop: sum of squares into a local, then one write.
+                let top = m.new_label();
+                let end = m.new_label();
+                m.const_f64(0.0).store(1).const_i32(0).store(3);
+                m.bind(top);
+                m.load(3).const_i32(300_000).if_icmp(Cmp::Ge, end);
+                m.load(1).load(3).i2d().load(3).i2d().dmul().dadd().store(1);
+                m.iinc(3, 1).goto(top);
+                m.bind(end);
+                m.load(0).getfield("W", "out").load(0).getfield("W", "idx").load(1).astore(ElemTy::F64);
+                m.ret();
+            });
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                let n = 8;
+                m.const_i32(n).newarray(ElemTy::F64).store(0);
+                m.const_i32(n).newarray(ElemTy::Ref).store(1);
+                let top = m.new_label();
+                let end = m.new_label();
+                m.const_i32(0).store(2);
+                m.bind(top);
+                m.load(2).const_i32(n).if_icmp(Cmp::Ge, end);
+                m.load(1).load(2);
+                m.construct("W", &[Ty::Ref, Ty::I32], |m| {
+                    m.load(0).load(2);
+                });
+                m.astore(ElemTy::Ref);
+                m.load(1).load(2).aload(ElemTy::Ref).invokevirtual("start", &[], None);
+                m.iinc(2, 1).goto(top);
+                m.bind(end);
+                let jt = m.new_label();
+                let je = m.new_label();
+                m.const_i32(0).store(2);
+                m.bind(jt);
+                m.load(2).const_i32(n).if_icmp(Cmp::Ge, je);
+                m.load(1).load(2).aload(ElemTy::Ref).invokevirtual("join", &[], None);
+                m.iinc(2, 1).goto(jt);
+                m.bind(je);
+                // print sum of results
+                let st = m.new_label();
+                let se = m.new_label();
+                m.const_f64(0.0).store(3).const_i32(0).store(2);
+                m.bind(st);
+                m.load(2).const_i32(n).if_icmp(Cmp::Ge, se);
+                m.load(3).load(0).load(2).aload(ElemTy::F64).dadd().store(3);
+                m.iinc(2, 1).goto(st);
+                m.bind(se).load(3).println_f64();
+                m.ret();
+            });
+        });
+        pb.build_with_stdlib()
+    };
+    let expected = {
+        let r = run_cluster(ClusterConfig::baseline(JvmProfile::IbmSim, 2), &p).expect("baseline");
+        r.expect_clean();
+        r.output.clone()
+    };
+    let r1 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 1), &p).expect("1");
+    let r4 = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, 4), &p).expect("4");
+    r1.expect_clean();
+    r4.expect_clean();
+    assert_eq!(r1.output, expected);
+    assert_eq!(r4.output, expected);
+    assert!(
+        r4.exec_time_ps < r1.exec_time_ps,
+        "4 nodes ({}) must beat 1 node ({})",
+        r4.exec_time_ps,
+        r1.exec_time_ps
+    );
+}
+
+#[test]
+#[ignore]
+fn probe_overheads() {
+    let p = counter_program(8);
+    for nodes in [1usize, 4] {
+        let r = run_cluster(ClusterConfig::javasplit(JvmProfile::IbmSim, nodes), &p).expect("run");
+        let d = r.dsm_total();
+        let n = r.net_total();
+        println!(
+            "nodes={nodes} time={:.3}ms ops={} msgs={} bytes={} fetches={} diffs={} grants={} acqR={} acqL={} inval={} waits={}",
+            r.exec_time_ps as f64 / 1e9,
+            r.ops, n.msgs_sent, n.bytes_sent, d.fetches, d.diffs_sent, d.grants_sent,
+            d.shared_acquires_remote, d.shared_acquires_local, d.invalidations, d.waits
+        );
+        for (i, s) in r.net_per_node.iter().enumerate() {
+            println!("  node{i}: sent={} recv={} kinds={:?}", s.msgs_sent, s.msgs_recv, s.sent_by_kind);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # javasplit — a reproduction of "JavaSplit: A Runtime for Execution of
+//! Monolithic Java Programs on Heterogeneous Collections of Commodity
+//! Workstations" (Factor, Schuster, Shagin — IEEE CLUSTER 2003)
+//!
+//! JavaSplit transparently distributes the threads and objects of an
+//! unmodified multithreaded program across commodity nodes by rewriting its
+//! bytecode: access checks before every heap access drive an object-based
+//! lazy-release-consistency DSM (MTS-HLRC), synchronization operations
+//! become a queue-passing distributed lock protocol, and thread-creation
+//! sites ship new threads to nodes chosen by a load balancer. Every node
+//! runs only a standard VM.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`mjvm`] — the substrate virtual machine (bytecode model, builder,
+//!   verifier, interpreter, baseline VM, cost model);
+//! * [`rewriter`] — the JavaSplit bytecode instrumentation pipeline;
+//! * [`net`] — the simulated IP network + custom wire codec;
+//! * [`dsm`] — the MTS-HLRC protocol engine;
+//! * [`runtime`] — the distributed runtime (cluster, scheduler, workers);
+//! * [`apps`] — the paper's benchmarks (TSP, Series, 3D Ray Tracer) in
+//!   MJVM bytecode.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use javasplit::mjvm::builder::ProgramBuilder;
+//! use javasplit::mjvm::cost::JvmProfile;
+//! use javasplit::runtime::exec::run_cluster;
+//! use javasplit::runtime::ClusterConfig;
+//!
+//! // An ordinary multithreaded program…
+//! let mut pb = ProgramBuilder::new("Main");
+//! pb.class("Main", "java.lang.Object", |cb| {
+//!     cb.static_method("main", &[], None, |m| {
+//!         m.ldc_str("hello from the cluster").println_str().ret();
+//!     });
+//! });
+//! let program = pb.build_with_stdlib();
+//!
+//! // …rewritten and executed, unchanged, on a 4-node cluster.
+//! let report = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 4), &program).unwrap();
+//! assert_eq!(report.output, vec!["hello from the cluster"]);
+//! ```
+
+pub use jsplit_apps as apps;
+pub use jsplit_dsm as dsm;
+pub use jsplit_mjvm as mjvm;
+pub use jsplit_net as net;
+pub use jsplit_rewriter as rewriter;
+pub use jsplit_runtime as runtime;
