@@ -8,8 +8,12 @@
 //!
 //! Sections: `table1`, `table2`, `table3`, `table4`, `ablation`, `mixed`
 //! (the §6 heterogeneous-cluster and mid-run-join demonstrations), `all`.
+//!
+//! `repro perf [--smoke]` is separate from `all`: it measures *host*
+//! wall-clock and ops/sec (nondeterministic) and writes `BENCH_PERF.json`
+//! at the repo root.
 
-use jsplit_bench::{ablation, measure, table1, table2, table3, table4};
+use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
 use jsplit_runtime::{ClusterConfig, NodeSpec};
@@ -17,7 +21,21 @@ use jsplit_runtime::{ClusterConfig, NodeSpec};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let section = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    if section == "perf" {
+        // Host-performance harness: nondeterministic wall-clock numbers, so
+        // never part of `all` (whose output doubles as a determinism
+        // reference).
+        let pts = perf::run(smoke);
+        print!("{}", perf::render(&pts));
+        match perf::write_json(&pts, smoke) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write BENCH_PERF.json: {e}"),
+        }
+        return;
+    }
 
     let want = |s: &str| section == "all" || section == s;
 

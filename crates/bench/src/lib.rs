@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod measure;
+pub mod perf;
 pub mod table1;
 pub mod table2;
 pub mod table3;

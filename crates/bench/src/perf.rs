@@ -1,0 +1,162 @@
+//! Host wall-clock performance harness (`repro perf`).
+//!
+//! Every paper table reports *virtual* time, which is deterministic and
+//! identical on any machine. This module instead measures how fast the
+//! simulator itself runs: host wall-clock and interpreted-instructions per
+//! second over fixed-seed workloads (TSP, Series, 3D Ray Tracer on an
+//! 8-node SunSim cluster). Results are printed and written to
+//! `BENCH_PERF.json` at the repo root so successive commits can be compared.
+//!
+//! Deliberately *not* part of `repro all`: wall-clock numbers are
+//! host-dependent and nondeterministic, and `repro all` output is used as a
+//! bit-identical determinism reference.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::measure::{render_table, run_clean};
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::ClusterConfig;
+
+/// One measured workload.
+pub struct PerfPoint {
+    pub app: &'static str,
+    /// Host wall-clock for the whole `run_cluster` call (setup + run).
+    pub wall_secs: f64,
+    /// Interpreted instructions retired across all nodes.
+    pub ops: u64,
+    /// `ops / wall_secs` — the headline simulator-throughput number.
+    pub ops_per_sec: f64,
+    /// Virtual execution time (deterministic; sanity anchor).
+    pub virtual_secs: f64,
+    /// Cluster-wide messages sent (deterministic; sanity anchor).
+    pub msgs_sent: u64,
+    /// Peak simultaneously-live scheduler events (slab length).
+    pub event_slab_high_water: u64,
+}
+
+const NODES: usize = 8;
+
+fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
+    use jsplit_apps::{raytracer, series, tsp};
+    if smoke {
+        // Test-scale inputs: a few seconds total, for CI.
+        vec![
+            ("tsp", tsp::program(tsp::TspParams { n: 9, seed: 42, depth: 3, threads: 16 })),
+            ("series", series::program(series::SeriesParams { n: 96, intervals: 1000, threads: 16 })),
+            ("raytracer", raytracer::program(raytracer::RayParams { size: 48, grid: 4, threads: 16 })),
+        ]
+    } else {
+        // Bench-scale inputs (same as the table4 figure sweep).
+        vec![
+            ("tsp", tsp::program(tsp::TspParams { n: 13, seed: 42, depth: 3, threads: 16 })),
+            ("series", series::program(series::SeriesParams { n: 256, intervals: 4000, threads: 16 })),
+            ("raytracer", raytracer::program(raytracer::RayParams { size: 360, grid: 4, threads: 16 })),
+        ]
+    }
+}
+
+/// Run all workloads on the fixed cluster configuration.
+pub fn run(smoke: bool) -> Vec<PerfPoint> {
+    let mut out = Vec::new();
+    for (app, p) in workloads(smoke) {
+        let t0 = Instant::now();
+        let r = run_clean(ClusterConfig::javasplit(JvmProfile::SunSim, NODES), &p);
+        let wall = t0.elapsed().as_secs_f64();
+        out.push(PerfPoint {
+            app,
+            wall_secs: wall,
+            ops: r.ops,
+            ops_per_sec: r.ops as f64 / wall.max(1e-9),
+            virtual_secs: r.exec_time_secs(),
+            msgs_sent: r.net_total().msgs_sent,
+            event_slab_high_water: r.event_slab_high_water,
+        });
+    }
+    out
+}
+
+pub fn render(pts: &[PerfPoint]) -> String {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.app.to_string(),
+                format!("{:.3}", p.wall_secs),
+                p.ops.to_string(),
+                format!("{:.2}", p.ops_per_sec / 1e6),
+                format!("{:.4}", p.virtual_secs),
+                p.msgs_sent.to_string(),
+                p.event_slab_high_water.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!("Host performance — js{NODES}(sun), fixed seeds"),
+        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw"],
+        &rows,
+    )
+}
+
+/// Serialize to the `BENCH_PERF.json` schema (hand-rolled: every field is a
+/// number or plain string, no escaping needed).
+pub fn to_json(pts: &[PerfPoint], smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!(
+        "  \"config\": \"javasplit {NODES} nodes, SunSim profile, 16 app threads\",\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, p) in pts.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}}}{}\n",
+            p.app,
+            p.wall_secs,
+            p.ops,
+            p.ops_per_sec,
+            p.virtual_secs,
+            p.msgs_sent,
+            p.event_slab_high_water,
+            if i + 1 < pts.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write `BENCH_PERF.json` at the repo root; returns the path written.
+pub fn write_json(pts: &[PerfPoint], smoke: bool) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PERF.json");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_json(pts, smoke).as_bytes())?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_schema_shape() {
+        let pts = vec![PerfPoint {
+            app: "tsp",
+            wall_secs: 1.5,
+            ops: 1000,
+            ops_per_sec: 666.7,
+            virtual_secs: 0.4,
+            msgs_sent: 12,
+            event_slab_high_water: 9,
+        }];
+        let j = to_json(&pts, true);
+        assert!(j.contains("\"smoke\": true"));
+        assert!(j.contains("\"app\": \"tsp\""));
+        assert!(j.contains("\"event_slab_high_water\": 9"));
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON dependency.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -95,8 +95,9 @@ pub fn run(scale: Scale) -> Vec<Point> {
 /// Run a subset of the sweep (used by the criterion benches).
 ///
 /// The (app × profile) sweeps are independent deterministic simulations, so
-/// they run on parallel OS threads (crossbeam scope); results are reassembled
-/// in sweep order, so the output is identical to a sequential run.
+/// they run on parallel OS threads (std::thread::scope); results are
+/// reassembled in sweep order, so the output is identical to a sequential
+/// run.
 pub fn run_subset(
     scale: Scale,
     apps: &[&'static str],
@@ -109,11 +110,11 @@ pub fn run_subset(
             sweeps.push((sweeps.len(), app, profile));
         }
     }
-    let mut results: Vec<(usize, Vec<Point>)> = crossbeam::thread::scope(|s| {
+    let mut results: Vec<(usize, Vec<Point>)> = std::thread::scope(|s| {
         let handles: Vec<_> = sweeps
             .iter()
             .map(|&(ord, app, profile)| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Baseline: the original program, 2 threads, one node.
                     let base_prog = app_program(app, scale, 2);
                     let baseline_ps =
@@ -143,8 +144,7 @@ pub fn run_subset(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     results.sort_by_key(|(ord, _)| *ord);
     results.into_iter().flat_map(|(_, pts)| pts).collect()
 }

@@ -31,11 +31,54 @@ impl Diff {
 }
 
 /// Compare the current payload against its twin within `[lo, hi)` only —
-/// the per-region diff of the §4.3 chunked-array extension.
+/// the per-region diff of the §4.3 chunked-array extension. Walks just the
+/// requested window (the old implementation diffed the whole object and
+/// filtered, making every region diff O(array length)).
 pub fn compute_range(twin: &ObjPayload, current: &ObjPayload, lo: usize, hi: usize) -> Diff {
-    let mut d = compute(twin, current);
-    d.entries.retain(|(i, _)| (*i as usize) >= lo && (*i as usize) < hi);
-    d
+    compute_window(twin, lo, current, lo, hi)
+}
+
+/// Compare `current[lo..hi)` against a twin whose index 0 corresponds to
+/// absolute index `twin_base` — i.e. the twin may be a clone of only the
+/// touched region rather than the whole payload. Entries carry absolute
+/// indices either way.
+pub fn compute_region(twin: &ObjPayload, twin_base: usize, current: &ObjPayload, lo: usize, hi: usize) -> Diff {
+    compute_window(twin, twin_base, current, lo, hi)
+}
+
+fn compute_window(twin: &ObjPayload, twin_base: usize, current: &ObjPayload, lo: usize, hi: usize) -> Diff {
+    let mut entries = Vec::new();
+    macro_rules! window {
+        ($t:expr, $c:expr, $wrap:expr, $eq:expr) => {{
+            let c = &$c[lo..hi.min($c.len())];
+            let t = &$t[lo - twin_base..];
+            for (off, (cv, tv)) in c.iter().zip(t.iter()).enumerate() {
+                if !$eq(tv, cv) {
+                    entries.push(((lo + off) as u32, $wrap(*cv)));
+                }
+            }
+        }};
+    }
+    match (twin, current) {
+        (ObjPayload::Fields(t), ObjPayload::Fields(c)) => {
+            window!(t, c, |v| v, |a: &Value, b: &Value| value_eq(*a, *b))
+        }
+        (ObjPayload::ArrI32(t), ObjPayload::ArrI32(c)) => {
+            window!(t, c, Value::I32, |a: &i32, b: &i32| a == b)
+        }
+        (ObjPayload::ArrI64(t), ObjPayload::ArrI64(c)) => {
+            window!(t, c, Value::I64, |a: &i64, b: &i64| a == b)
+        }
+        (ObjPayload::ArrF64(t), ObjPayload::ArrF64(c)) => {
+            window!(t, c, Value::F64, |a: &f64, b: &f64| a.to_bits() == b.to_bits())
+        }
+        (ObjPayload::ArrRef(t), ObjPayload::ArrRef(c)) => {
+            window!(t, c, |v| v, |a: &Value, b: &Value| value_eq(*a, *b))
+        }
+        (ObjPayload::Str(_), ObjPayload::Str(_)) => { /* strings are immutable */ }
+        (a, b) => panic!("twin/current payload shape mismatch: {a:?} vs {b:?}"),
+    }
+    Diff { entries }
 }
 
 /// Compare the current payload against its twin.

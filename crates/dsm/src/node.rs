@@ -122,6 +122,9 @@ pub struct DsmNode {
 
     gid_to_ref: HashMap<Gid, ObjRef>,
     next_gid: u64,
+    /// Twin copies made on the first write of an interval, keyed by
+    /// coherency unit: region gid (a window clone based at the region's
+    /// lower bound) for chunked arrays, base gid (full payload) otherwise.
     twins: HashMap<Gid, ObjPayload>,
     /// Remote-homed objects written this interval.
     dirty: HashSet<Gid>,
@@ -458,6 +461,11 @@ impl DsmNode {
             }
             WireState::Str(s) => ObjPayload::Str(std::sync::Arc::from(&**s)),
         };
+        // Deliberately KEEP any twin from this interval: the object may be
+        // dirty (written, then invalidated and re-fetched before the
+        // closing release), and close_interval still diffs it against that
+        // twin. The `twinned` reset below only makes the *next* write
+        // re-snapshot against the installed copy.
         let obj = heap.get_mut(r);
         obj.payload = payload;
         obj.dsm.state = DsmState::Valid;
@@ -546,18 +554,34 @@ impl DsmNode {
                 }
                 // The dirtied CU: the touched region for chunked arrays,
                 // the object itself otherwise.
-                let cu = match (self.chunks.get(&gid), idx) {
-                    (Some(meta), Some(i)) => meta.region_gid(meta.region_of_index(i.max(0) as u32)),
-                    _ => gid,
+                let chunked = match (self.chunks.get(&gid), idx) {
+                    (Some(meta), Some(i)) => {
+                        let region = meta.region_of_index(i.max(0) as u32);
+                        Some((meta.region_gid(region), meta.region_bounds(region)))
+                    }
+                    _ => None,
                 };
                 if gid.home() == self.id {
-                    self.dirty_home.insert(cu);
-                } else {
-                    if !twinned {
-                        self.twins.insert(gid, heap.get(obj).payload.clone());
+                    self.dirty_home.insert(chunked.map_or(gid, |(cu, _)| cu));
+                } else if let Some((cu, (lo, hi))) = chunked {
+                    // Twin only the touched region, keyed by the region gid:
+                    // first write to a chunked array costs O(chunk), not
+                    // O(array length).
+                    if !self.twins.contains_key(&cu) {
+                        let window = clone_window(&heap.get(obj).payload, lo, hi);
+                        self.twins.insert(cu, window);
                         heap.get_mut(obj).dsm.twinned = true;
                     }
                     self.dirty.insert(cu);
+                } else {
+                    // `twinned` only means *some* CU of this object has a
+                    // twin (possibly a region window under another key), so
+                    // a set flag still requires the map check.
+                    if !twinned || !self.twins.contains_key(&gid) {
+                        self.twins.insert(gid, heap.get(obj).payload.clone());
+                        heap.get_mut(obj).dsm.twinned = true;
+                    }
+                    self.dirty.insert(gid);
                 }
                 AccessOutcome::Hit
             }
@@ -715,6 +739,38 @@ impl DsmNode {
         Ok(false)
     }
 
+    /// Force-release every monitor still held by a dying `thread` (abnormal
+    /// termination). Java unwinds a dying thread's `monitorexit`s; a trapped
+    /// frame stack cannot, so the runtime calls this instead. Shared locks
+    /// drop straight to count 0 and are granted onward; local fast-path
+    /// counters are cleared in the heap headers. Gids are processed in
+    /// sorted order so the resulting message sequence is deterministic.
+    pub fn release_all_held(&mut self, heap: &mut Heap, thread: ThreadUid) {
+        let mut held: Vec<Gid> = self
+            .locks
+            .iter()
+            .filter(|(_, ls)| {
+                ls.owned
+                    && (ls.holder == Some(thread)
+                        || matches!(ls.granted_to, Some((t, _)) if t == thread))
+            })
+            .map(|(g, _)| *g)
+            .collect();
+        held.sort_unstable();
+        for gid in held {
+            let ls = self.locks.get_mut(&gid).expect("held lock state");
+            if ls.holder == Some(thread) {
+                ls.holder = None;
+                ls.count = 0;
+            }
+            if matches!(ls.granted_to, Some((t, _)) if t == thread) {
+                ls.granted_to = None;
+            }
+            self.try_grant(heap, gid);
+        }
+        heap.release_local_locks_of(thread);
+    }
+
     /// `Object.wait()`: park in the wait queue and release the lock — all
     /// local to the owner (§3.2).
     pub fn obj_wait(&mut self, heap: &mut Heap, thread: ThreadUid, priority: i32, obj: ObjRef) -> Result<(), MonitorError> {
@@ -868,23 +924,26 @@ impl DsmNode {
             v.sort();
             v
         };
-        let mut twinned_bases: Vec<(Gid, ObjRef)> = Vec::new();
+        let mut twinned_objs: Vec<ObjRef> = Vec::new();
         for gid in dirty {
-            // For a chunked region, the twin is keyed by the base gid and
-            // the diff restricted to the region's bounds.
+            // A chunked region carries its own window twin (keyed by the
+            // region gid, based at the region's lower bound); a whole object
+            // carries a full twin keyed by its gid.
             let (base, bounds) = match self.region_of.get(&gid) {
                 Some(&(base, region)) => (base, Some(self.chunks[&base].region_bounds(region))),
                 None => (gid, None),
             };
             let obj = self.gid_to_ref[&base];
-            let twin = self.twins.get(&base).expect("dirty object has a twin").clone();
-            if !twinned_bases.iter().any(|(b, _)| *b == base) {
-                twinned_bases.push((base, obj));
+            // Consuming the twin here (instead of clone-then-compare) means
+            // the release path never copies a payload: the diff walks the
+            // twin and the live payload in place.
+            let twin = self.twins.remove(&gid).expect("dirty CU has a twin");
+            if !twinned_objs.contains(&obj) {
+                twinned_objs.push(obj);
             }
-            let current = heap.get(obj).payload.clone();
             let d = match bounds {
-                Some((lo, hi)) => diff::compute_range(&twin, &current, lo, hi),
-                None => diff::compute(&twin, &current),
+                Some((lo, hi)) => diff::compute_region(&twin, lo, &heap.get(obj).payload, lo, hi),
+                None => diff::compute(&twin, &heap.get(obj).payload),
             };
             if d.is_empty() {
                 continue;
@@ -910,8 +969,7 @@ impl DsmNode {
                 Msg::DiffFlush { gid, entries, node: self.id, interval: my_interval, want_ack: scalar },
             );
         }
-        for (base, obj) in twinned_bases {
-            self.twins.remove(&base);
+        for obj in twinned_objs {
             heap.get_mut(obj).dsm.twinned = false;
         }
 
@@ -1328,6 +1386,19 @@ impl DsmNode {
     /// Install a shipped thread object, returning its local ref.
     pub fn install_spawned(&mut self, heap: &mut Heap, image: &Image, thread_gid: Gid, class: u32, state: &WireState) -> ObjRef {
         self.install_state(heap, image, thread_gid, ClassId(class), state, 1, &[])
+    }
+}
+
+/// Clone only `[lo, hi)` of an array payload — the region twin of the §4.3
+/// chunked extension. Twinning the whole payload would make the first write
+/// to each region cost O(array length) instead of O(chunk).
+fn clone_window(p: &ObjPayload, lo: usize, hi: usize) -> ObjPayload {
+    match p {
+        ObjPayload::ArrI32(v) => ObjPayload::ArrI32(v[lo..hi.min(v.len())].to_vec()),
+        ObjPayload::ArrI64(v) => ObjPayload::ArrI64(v[lo..hi.min(v.len())].to_vec()),
+        ObjPayload::ArrF64(v) => ObjPayload::ArrF64(v[lo..hi.min(v.len())].to_vec()),
+        ObjPayload::ArrRef(v) => ObjPayload::ArrRef(v[lo..hi.min(v.len())].to_vec()),
+        other => other.clone(),
     }
 }
 

@@ -2,7 +2,7 @@
 //! and benchmarks assert on.
 
 /// Counters for one node's DSM engine.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct DsmStats {
     /// Objects promoted local → shared (dynamic classification, §2).
     pub promotions: u64,

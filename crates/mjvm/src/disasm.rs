@@ -59,7 +59,9 @@ pub fn fmt_instr(ins: &Instr) -> String {
         NewQ(c) => format!("new_q {}", c.0),
         InvokeStaticQ(m) => format!("invokestatic_q {}", m.0),
         InvokeSpecialQ(m) => format!("invokespecial_q {}", m.0),
-        InvokeVirtualQ { sig, nargs, ret } => format!("invokevirtual_q sig={} nargs={nargs} ret={ret}", sig.0),
+        InvokeVirtualQ { sig, nargs, ret, site } => {
+            format!("invokevirtual_q sig={} nargs={nargs} ret={ret} site={site}", sig.0)
+        }
         // Arithmetic / conversion / comparison opcodes print as their
         // lower-cased variant names (iadd, lcmp, i2d, …).
         other => format!("{other:?}").to_lowercase(),

@@ -296,6 +296,19 @@ impl Heap {
     pub fn iter(&self) -> impl Iterator<Item = (ObjRef, &Obj)> {
         self.objs.iter().enumerate().map(|(i, o)| (ObjRef(i as u32), o))
     }
+
+    /// Clear the local-lock fast-path counter of every object still owned by
+    /// `thread`. A thread that dies abnormally (a `VmError` trap) cannot
+    /// unwind its `monitorexit`s, so the runtime drops its monitors here —
+    /// otherwise a sibling blocked on one of them deadlocks.
+    pub fn release_local_locks_of(&mut self, thread: ThreadUid) {
+        for o in &mut self.objs {
+            if o.dsm.lock_owner == Some(thread) {
+                o.dsm.lock_owner = None;
+                o.dsm.lock_count = 0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -276,7 +276,7 @@ pub enum Instr {
     InvokeSpecialQ(crate::loader::MethodId),
     /// Quickened `InvokeVirtual`: vtable signature id + arg-slot count
     /// (excluding receiver) + whether a value is returned.
-    InvokeVirtualQ { sig: crate::loader::SigId, nargs: u8, ret: bool },
+    InvokeVirtualQ { sig: crate::loader::SigId, nargs: u8, ret: bool, site: u32 },
 }
 
 impl Instr {

@@ -345,7 +345,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 frame.pc += 1;
             }
             Instr::Dup => {
-                let v = *frame.stack.last().ok_or(VmError::StackUnderflow {
+                let v = *frame.stack.last().ok_or_else(|| VmError::StackUnderflow {
                     method: method.sig.to_string(),
                     pc,
                 })?;
@@ -558,7 +558,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
             Instr::ArrayLen => {
                 let r = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let len = ctx.heap.get(r).payload.array_len().ok_or_else(|| {
                     VmError::TypeMismatch("arraylength on non-array".into())
                 })?;
@@ -569,7 +569,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
             Instr::GetFieldQ { slot, kind_cost } => {
                 let r = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let key = access_key(*kind_cost, r.0, *slot as u32);
                 cost += model.access(*kind_cost, Rw::Read, cache_hit(&mut last_access, key));
                 let v = match &ctx.heap.get(r).payload {
@@ -583,7 +583,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 let v = pop!(frame, method);
                 let r = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let key = access_key(*kind_cost, r.0, *slot as u32);
                 cost += model.access(*kind_cost, Rw::Write, cache_hit(&mut last_access, key));
                 match &mut ctx.heap.get_mut(r).payload {
@@ -613,7 +613,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 let idx = pop!(frame, method).as_i32();
                 let r = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let key = access_key(AccessKind::Array, r.0, idx as u32);
                 cost += model.access(AccessKind::Array, Rw::Read, cache_hit(&mut last_access, key));
                 let v = array_load(ctx.heap, r, idx, *elem)?;
@@ -625,7 +625,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 let idx = pop!(frame, method).as_i32();
                 let r = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let key = access_key(AccessKind::Array, r.0, idx as u32);
                 cost += model.access(AccessKind::Array, Rw::Write, cache_hit(&mut last_access, key));
                 array_store(ctx.heap, r, idx, v, *elem)?;
@@ -635,8 +635,8 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
             // ---- DSM pseudo-instructions ----
             Instr::DsmCheckRead { depth, kind } | Instr::DsmCheckWrite { depth, kind } => {
                 let is_write = matches!(ins, Instr::DsmCheckWrite { .. });
-                let slot = frame.stack.len().checked_sub(1 + *depth as usize).ok_or(
-                    VmError::StackUnderflow { method: method.sig.to_string(), pc },
+                let slot = frame.stack.len().checked_sub(1 + *depth as usize).ok_or_else(
+                    || VmError::StackUnderflow { method: method.sig.to_string(), pc },
                 )?;
                 let Some(obj) = frame.stack[slot].as_opt_ref() else {
                     return Err(VmError::NullDeref { method: method.sig.to_string(), pc });
@@ -677,7 +677,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 };
                 let obj = top
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let out = if dsm {
                     ctx.env.dsm_monitor_enter(ctx.heap, thread, obj)
                 } else {
@@ -700,7 +700,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 let dsm = matches!(ins, Instr::DsmMonitorExit);
                 let obj = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let c = if dsm {
                     ctx.env.dsm_monitor_exit(ctx.heap, thread, obj)?
                 } else {
@@ -710,12 +710,12 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 thread.frames[frame_idx].pc += 1;
             }
             Instr::DsmVolatileAcquire { depth } => {
-                let slot = frame.stack.len().checked_sub(1 + *depth as usize).ok_or(
-                    VmError::StackUnderflow { method: method.sig.to_string(), pc },
+                let slot = frame.stack.len().checked_sub(1 + *depth as usize).ok_or_else(
+                    || VmError::StackUnderflow { method: method.sig.to_string(), pc },
                 )?;
                 let obj = frame.stack[slot]
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 match ctx.env.volatile_acquire(ctx.heap, thread, obj) {
                     MonOutcome::Entered { cost: c } => {
                         cost += c;
@@ -737,7 +737,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
             Instr::DsmSpawn => {
                 let tobj = pop!(frame, method)
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 frame.pc += 1;
                 cost += ctx.env.spawn(ctx.heap, thread, tobj, true)?;
             }
@@ -770,7 +770,7 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                     thread.frames.push(f);
                 }
             }
-            Instr::InvokeVirtualQ { sig, nargs, ret: _ } => {
+            Instr::InvokeVirtualQ { sig, nargs, ret: _, site } => {
                 let total = *nargs as usize + 1;
                 if frame.stack.len() < total {
                     return Err(VmError::StackUnderflow { method: method.sig.to_string(), pc });
@@ -778,9 +778,9 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
                 let recv_slot = frame.stack.len() - total;
                 let recv = frame.stack[recv_slot]
                     .as_opt_ref()
-                    .ok_or(VmError::NullDeref { method: method.sig.to_string(), pc })?;
+                    .ok_or_else(|| VmError::NullDeref { method: method.sig.to_string(), pc })?;
                 let cls = ctx.heap.get(recv).class;
-                let mid = ctx.image.dispatch(cls, *sig).ok_or_else(|| {
+                let mid = ctx.image.dispatch_cached(*site, cls, *sig).ok_or_else(|| {
                     VmError::NoSuchMethod(format!(
                         "{}.{}",
                         ctx.image.class(cls).name,
@@ -914,7 +914,7 @@ fn run_native<E: VmEnv>(
         ThreadStart => {
             let tobj = args[0]
                 .as_opt_ref()
-                .ok_or(VmError::NullDeref { method: "Thread.start".into(), pc: 0 })?;
+                .ok_or_else(|| VmError::NullDeref { method: "Thread.start".into(), pc: 0 })?;
             *cost += ctx.env.spawn(ctx.heap, thread, tobj, false)?;
             Ok(NativeFlow::Continue)
         }
@@ -934,14 +934,14 @@ fn run_native<E: VmEnv>(
         ObjWait => {
             let obj = args[0]
                 .as_opt_ref()
-                .ok_or(VmError::NullDeref { method: "Object.wait".into(), pc: 0 })?;
+                .ok_or_else(|| VmError::NullDeref { method: "Object.wait".into(), pc: 0 })?;
             *cost += ctx.env.obj_wait(ctx.heap, thread, obj)?;
             Ok(NativeFlow::Block)
         }
         ObjNotify | ObjNotifyAll => {
             let obj = args[0]
                 .as_opt_ref()
-                .ok_or(VmError::NullDeref { method: "Object.notify".into(), pc: 0 })?;
+                .ok_or_else(|| VmError::NullDeref { method: "Object.notify".into(), pc: 0 })?;
             *cost += ctx.env.obj_notify(ctx.heap, thread, obj, matches!(op, ObjNotifyAll))?;
             Ok(NativeFlow::Continue)
         }

@@ -155,7 +155,7 @@ pub fn exec_pure(
 
         HashCode => {
             cost = model.generic_op * 4;
-            let r = args[0].as_opt_ref().ok_or(VmError::NullDeref {
+            let r = args[0].as_opt_ref().ok_or_else(|| VmError::NullDeref {
                 method: "Object.hashCode".into(),
                 pc: 0,
             })?;
@@ -168,12 +168,12 @@ pub fn exec_pure(
             Some(Value::from(args[0] == args[1]))
         }
         ArrayCopy => {
-            let src = args[0].as_opt_ref().ok_or(VmError::NullDeref {
+            let src = args[0].as_opt_ref().ok_or_else(|| VmError::NullDeref {
                 method: "System.arraycopy".into(),
                 pc: 0,
             })?;
             let src_pos = args[1].as_i32();
-            let dst = args[2].as_opt_ref().ok_or(VmError::NullDeref {
+            let dst = args[2].as_opt_ref().ok_or_else(|| VmError::NullDeref {
                 method: "System.arraycopy".into(),
                 pc: 0,
             })?;
@@ -196,7 +196,7 @@ pub fn exec_pure(
             let c = s
                 .chars()
                 .nth(i.max(0) as usize)
-                .ok_or(VmError::IndexOutOfBounds { len: s.chars().count(), idx: i as i64 })?;
+                .ok_or_else(|| VmError::IndexOutOfBounds { len: s.chars().count(), idx: i as i64 })?;
             Some(Value::I32(c as i32))
         }
         StrConcat => {

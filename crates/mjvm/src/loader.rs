@@ -12,6 +12,7 @@ use crate::instr::{AccessKind, ElemTy, Instr, Ty};
 use crate::intrinsics::NativeOp;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Dense class index.
@@ -135,6 +136,13 @@ pub struct Image {
     /// Pseudo-class for string objects.
     pub string_class: ClassId,
     pub main_method: MethodId,
+    /// Per-call-site monomorphic inline caches for `InvokeVirtualQ`, indexed
+    /// by the instruction's `site` id assigned during quickening. Each slot
+    /// packs `(class + 1) << 32 | method` (0 = empty). Atomics because the
+    /// image is shared (`Arc`) across simulated nodes; `Relaxed` suffices —
+    /// a cache entry is pure memoization of the immutable vtable, so any
+    /// stale or torn view only costs a refill, never a wrong target.
+    vcall_cache: Vec<AtomicU64>,
 }
 
 impl Image {
@@ -176,6 +184,23 @@ impl Image {
     #[inline]
     pub fn dispatch(&self, class: ClassId, sig: SigId) -> Option<MethodId> {
         self.classes[class.0 as usize].vtable.get(sig.0 as usize).copied().flatten()
+    }
+
+    /// Virtual dispatch through the call site's monomorphic inline cache.
+    /// A hit (same receiver class as last time at this site) skips the
+    /// vtable walk; a miss falls back to [`Image::dispatch`] and re-primes
+    /// the cache. Deterministic: a hit returns exactly what `dispatch`
+    /// would, since vtables are immutable after load.
+    #[inline]
+    pub fn dispatch_cached(&self, site: u32, class: ClassId, sig: SigId) -> Option<MethodId> {
+        let slot = &self.vcall_cache[site as usize];
+        let e = slot.load(Ordering::Relaxed);
+        if (e >> 32) == class.0 as u64 + 1 {
+            return Some(MethodId(e as u32));
+        }
+        let mid = self.dispatch(class, sig)?;
+        slot.store(((class.0 as u64 + 1) << 32) | mid.0 as u64, Ordering::Relaxed);
+        Some(mid)
     }
 
     /// Resolve `class.method(sig)` walking up the hierarchy (for
@@ -427,6 +452,7 @@ impl Image {
             };
 
         let mut quickened: Vec<Vec<Instr>> = Vec::with_capacity(methods.len());
+        let mut vcall_sites: u32 = 0;
         for (i, cf) in all.iter().enumerate() {
             let _cid = ClassId(i as u32);
             for m in &cf.methods {
@@ -479,10 +505,13 @@ impl Image {
                         }
                         Instr::InvokeVirtual(sig) => {
                             let sid = intern_sig(sig, &mut sigs);
+                            let site = vcall_sites;
+                            vcall_sites += 1;
                             Instr::InvokeVirtualQ {
                                 sig: sid,
                                 nargs: sig.nargs() as u8,
                                 ret: sig.ret.is_some(),
+                                site,
                             }
                         }
                         other => other.clone(),
@@ -521,6 +550,7 @@ impl Image {
             sigs,
             name_to_class,
             main_method,
+            vcall_cache: (0..vcall_sites).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 }

@@ -64,7 +64,7 @@ impl MsgKind {
 }
 
 /// Counters for one node.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NetStats {
     pub msgs_sent: u64,
     pub msgs_recv: u64,

@@ -22,8 +22,12 @@ use jsplit_mjvm::{stdlib, Value};
 use jsplit_net::{LinkParams, Network, NodeId};
 use jsplit_rewriter::{RewriteError, RewriteStats, STATICS_HOLDER};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
+
+/// Sentinel in [`Cluster::thread_slot`] marking a uid whose thread has
+/// exited (uids are dense and never reused, slab slots are).
+const DEAD_SLOT: u32 = u32::MAX;
 
 /// Errors preparing a cluster run.
 #[derive(Debug)]
@@ -63,7 +67,14 @@ struct Worker {
     model: &'static CostModel,
     heap: Heap,
     env: NodeEnv,
-    threads: HashMap<ThreadUid, Thread>,
+    /// Thread slab: a thread's slot is stable for its whole life (slots of
+    /// exited threads are recycled through `free_slots`), so a CPU slice
+    /// runs the thread in place instead of the old per-slice HashMap
+    /// remove/insert round trip.
+    threads: Vec<Option<Thread>>,
+    free_slots: Vec<u32>,
+    /// Live threads on this node (the slab has holes, so it is counted).
+    live: usize,
     ready: VecDeque<ThreadUid>,
     cpu_free: Vec<u64>,
     cpu_busy: Vec<bool>,
@@ -71,7 +82,27 @@ struct Worker {
 
 impl Worker {
     fn live(&self) -> usize {
-        self.threads.len()
+        self.live
+    }
+
+    fn insert_thread(&mut self, th: Thread) -> u32 {
+        self.live += 1;
+        match self.free_slots.pop() {
+            Some(s) => {
+                self.threads[s as usize] = Some(th);
+                s
+            }
+            None => {
+                self.threads.push(Some(th));
+                (self.threads.len() - 1) as u32
+            }
+        }
+    }
+
+    fn remove_thread(&mut self, slot: u32) -> Thread {
+        self.live -= 1;
+        self.free_slots.push(slot);
+        self.threads[slot as usize].take().expect("live thread slot")
     }
 }
 
@@ -83,9 +114,20 @@ pub struct Cluster {
     workers: Vec<Worker>,
     net: Network,
     events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Event payloads, slab-allocated: dispatched slots are recycled through
+    /// `free_events`, so storage is bounded by the number of *live*
+    /// (scheduled, not yet dispatched) events instead of every event ever
+    /// pushed. Ordering is untouched — the heap key is (time, seq, idx) and
+    /// `seq` is unique, so a recycled idx never changes dispatch order.
     payloads: Vec<Option<Ev>>,
+    free_events: Vec<usize>,
     seq: u64,
-    thread_node: HashMap<ThreadUid, NodeId>,
+    /// uid → slot in its worker's thread slab ([`DEAD_SLOT`] once the
+    /// thread exits). Dense because uids are allocated sequentially.
+    thread_slot: Vec<u32>,
+    /// uid → currently queued in its worker's ready queue. Replaces the
+    /// O(ready-queue) `contains` scan on every wake.
+    in_ready: Vec<bool>,
     next_uid: ThreadUid,
     live_threads: usize,
     total_threads: u32,
@@ -154,6 +196,9 @@ impl Cluster {
             workers.push(make_worker(i as NodeId, *spec, &config, &image, thread_class));
         }
 
+        // Sized eagerly for the initial pool (and grown in `join_worker`),
+        // never lazily in the dispatch path.
+        let in_flight = vec![0; workers.len()];
         let mut cluster = Cluster {
             lb: BalancerState::new(config.balancer),
             config,
@@ -163,8 +208,10 @@ impl Cluster {
             net,
             events: BinaryHeap::new(),
             payloads: Vec::new(),
+            free_events: Vec::new(),
             seq: 0,
-            thread_node: HashMap::new(),
+            thread_slot: Vec::new(),
+            in_ready: Vec::new(),
             next_uid: 0,
             live_threads: 0,
             total_threads: 0,
@@ -174,7 +221,7 @@ impl Cluster {
             finish_time: 0,
             thread_main,
             thread_class,
-            in_flight: Vec::new(),
+            in_flight,
             class_bytes,
             setup_ps: 0,
         };
@@ -238,8 +285,16 @@ impl Cluster {
     }
 
     fn push(&mut self, time: u64, ev: Ev) {
-        let idx = self.payloads.len();
-        self.payloads.push(Some(ev));
+        let idx = match self.free_events.pop() {
+            Some(i) => {
+                self.payloads[i] = Some(ev);
+                i
+            }
+            None => {
+                self.payloads.push(Some(ev));
+                self.payloads.len() - 1
+            }
+        };
         self.events.push(Reverse((time, self.seq, idx)));
         self.seq += 1;
     }
@@ -257,21 +312,31 @@ impl Cluster {
                 }
             }
         }
-        self.workers[node as usize].threads.insert(uid, th);
+        let slot = self.workers[node as usize].insert_thread(th);
+        debug_assert_eq!(self.thread_slot.len(), uid as usize);
+        self.thread_slot.push(slot);
+        self.in_ready.push(true);
         self.workers[node as usize].ready.push_back(uid);
-        self.thread_node.insert(uid, node);
         self.live_threads += 1;
         self.total_threads += 1;
         self.schedule(node, now);
         uid
     }
 
+    /// A live thread's slab slot on its worker.
+    fn thread_mut(&mut self, node: NodeId, uid: ThreadUid) -> &mut Thread {
+        let slot = self.thread_slot[uid as usize];
+        self.workers[node as usize].threads[slot as usize].as_mut().expect("live thread")
+    }
+
     /// Assign ready threads to idle CPUs.
     fn schedule(&mut self, node: NodeId, now: u64) {
-        let mut slices = Vec::new();
-        {
-            let w = &mut self.workers[node as usize];
-            while !w.ready.is_empty() {
+        loop {
+            let (start, cpu, thread) = {
+                let w = &mut self.workers[node as usize];
+                if w.ready.is_empty() {
+                    break;
+                }
                 let Some(cpu) = (0..w.cpu_free.len())
                     .filter(|&c| !w.cpu_busy[c])
                     .min_by_key(|&c| w.cpu_free[c])
@@ -279,25 +344,25 @@ impl Cluster {
                     break;
                 };
                 let thread = w.ready.pop_front().unwrap();
-                if !w.threads.contains_key(&thread) {
+                self.in_ready[thread as usize] = false;
+                if self.thread_slot[thread as usize] == DEAD_SLOT {
                     continue;
                 }
                 w.cpu_busy[cpu] = true;
-                let start = now.max(w.cpu_free[cpu]);
-                slices.push((start, cpu, thread));
-            }
-        }
-        for (start, cpu, thread) in slices {
+                (now.max(w.cpu_free[cpu]), cpu, thread)
+            };
             self.push(start, Ev::Slice { node, cpu, thread });
         }
     }
 
     fn make_ready(&mut self, node: NodeId, thread: ThreadUid, now: u64) {
-        let w = &mut self.workers[node as usize];
-        if w.threads.contains_key(&thread) && !w.ready.contains(&thread) {
-            w.ready.push_back(thread);
-            self.schedule(node, now);
+        let i = thread as usize;
+        if self.thread_slot[i] == DEAD_SLOT || self.in_ready[i] {
+            return;
         }
+        self.in_ready[i] = true;
+        self.workers[node as usize].ready.push_back(thread);
+        self.schedule(node, now);
     }
 
     /// Drain a worker's environment effects (DSM actions, spawns, sleepers,
@@ -357,7 +422,6 @@ impl Cluster {
                 self.add_thread(origin, frame, Some(thread_obj), now);
             }
             Mode::JavaSplit => {
-                self.in_flight.resize(self.workers.len(), 0);
                 let loads: Vec<usize> = self
                     .workers
                     .iter()
@@ -366,11 +430,11 @@ impl Cluster {
                     .collect();
                 let dst = self.lb.pick(&loads, origin);
                 self.in_flight[dst as usize] += 1;
-                let image = self.image.clone();
                 let msg = {
+                    let image: &Image = &self.image;
                     let w = &mut self.workers[origin as usize];
                     let env = w.env.js();
-                    env.dsm.prepare_spawn(&mut w.heap, &image, thread_obj, priority)
+                    env.dsm.prepare_spawn(&mut w.heap, image, thread_obj, priority)
                 };
                 // Shipping may have shared objects; nothing else to drain
                 // (prepare_spawn itself queues no sends).
@@ -394,6 +458,7 @@ impl Cluster {
                 break;
             }
             let ev = self.payloads[idx].take().expect("event payload");
+            self.free_events.push(idx);
             match ev {
                 Ev::Slice { node, cpu, thread } => self.run_slice(time, node, cpu, thread),
                 Ev::Deliver { dst, msg } => self.deliver(time, dst, msg),
@@ -427,23 +492,26 @@ impl Cluster {
             rewrite: self.rewrite,
             setup_ps: self.setup_ps,
             class_bytes: self.class_bytes as u64,
+            event_slab_high_water: self.payloads.len() as u64,
         }
     }
 
     fn run_slice(&mut self, time: u64, node: NodeId, cpu: usize, thread: ThreadUid) {
-        let image = self.image.clone();
         let fuel = self.config.fuel;
         let outcome = {
+            let image: &Image = &self.image;
             let w = &mut self.workers[node as usize];
-            let Some(mut th) = w.threads.remove(&thread) else {
+            let slot = self.thread_slot[thread as usize];
+            if slot == DEAD_SLOT {
                 w.cpu_busy[cpu] = false;
                 return;
-            };
+            }
+            let th = w.threads[slot as usize].as_mut().expect("live thread slot");
             w.env.set_now(time);
             let model = w.model;
             let res = {
-                let mut ctx = StepCtx { image: &image, heap: &mut w.heap, env: &mut w.env, cost: model };
-                interp::step(&mut th, &mut ctx, fuel)
+                let mut ctx = StepCtx { image, heap: &mut w.heap, env: &mut w.env, cost: model };
+                interp::step(th, &mut ctx, fuel)
             };
             match res {
                 Ok(out) => {
@@ -453,15 +521,14 @@ impl Cluster {
                     self.ops += out.ops;
                     match out.state {
                         StepState::Running => {
-                            w.threads.insert(thread, th);
+                            self.in_ready[thread as usize] = true;
                             w.ready.push_back(thread);
                         }
-                        StepState::Blocked => {
-                            w.threads.insert(thread, th);
-                        }
+                        StepState::Blocked => {}
                         StepState::Done => {
+                            let th = w.remove_thread(slot);
+                            self.thread_slot[thread as usize] = DEAD_SLOT;
                             self.live_threads -= 1;
-                            self.thread_node.remove(&thread);
                             self.finish_time = self.finish_time.max(end);
                             // Thread exit is a release point: flush its
                             // interval now so joiners don't wait behind it,
@@ -483,10 +550,25 @@ impl Cluster {
                     let end = time + 1;
                     w.cpu_free[cpu] = end;
                     w.cpu_busy[cpu] = false;
+                    let th = w.remove_thread(slot);
+                    self.thread_slot[thread as usize] = DEAD_SLOT;
                     self.errors.push((thread, e));
                     self.live_threads -= 1;
-                    self.thread_node.remove(&thread);
                     self.finish_time = self.finish_time.max(end);
+                    // A trapped thread is still a release point (it can
+                    // never run again): flush its interval, force-drop any
+                    // monitors it still holds so blocked siblings don't
+                    // deadlock, and hand its Thread object's lock home for
+                    // the joiner — mirroring normal termination above.
+                    if let NodeEnv::Js(env) = &mut w.env {
+                        env.dsm.flush_interval(&mut w.heap);
+                        env.dsm.release_all_held(&mut w.heap, thread);
+                        if let Some(tobj) = th.thread_obj {
+                            if let Some(gid) = w.heap.get(tobj).dsm.gid {
+                                env.dsm.release_ownership_to_home(&mut w.heap, gid);
+                            }
+                        }
+                    }
                     Some(end)
                 }
             }
@@ -498,7 +580,6 @@ impl Cluster {
     }
 
     fn deliver(&mut self, time: u64, dst: NodeId, msg: Msg) {
-        let image = self.image.clone();
         match msg {
             Msg::Println { line, .. } => {
                 // Forwarded console output lands in the console node's own
@@ -509,29 +590,26 @@ impl Cluster {
                 }
             }
             Msg::SpawnThread { thread_gid, class, state, priority } => {
-                self.in_flight.resize(self.workers.len(), 0);
                 let slot = &mut self.in_flight[dst as usize];
                 *slot = slot.saturating_sub(1);
                 let obj = {
+                    let image: &Image = &self.image;
                     let w = &mut self.workers[dst as usize];
                     let env = w.env.js();
-                    env.dsm.install_spawned(&mut w.heap, &image, thread_gid, class, &state)
+                    env.dsm.install_spawned(&mut w.heap, image, thread_gid, class, &state)
                 };
                 let m = self.image.method(self.thread_main);
                 let frame = Frame::new(self.thread_main, m.max_locals, vec![Value::Ref(obj)], false);
                 let uid = self.add_thread(dst, frame, Some(obj), time);
-                self.workers[dst as usize]
-                    .threads
-                    .get_mut(&uid)
-                    .unwrap()
-                    .priority = priority.clamp(1, 10);
+                self.thread_mut(dst, uid).priority = priority.clamp(1, 10);
                 self.drain_effects(dst, time);
             }
             other => {
                 let handler_ps = {
+                    let image: &Image = &self.image;
                     let w = &mut self.workers[dst as usize];
                     let env = w.env.js();
-                    env.dsm.handle(&mut w.heap, &image, other);
+                    env.dsm.handle(&mut w.heap, image, other);
                     w.model.handler_fixed_ns * 1_000
                 };
                 self.drain_effects(dst, time + handler_ps);
@@ -576,6 +654,7 @@ impl Cluster {
             }
         }
         self.workers.push(w);
+        self.in_flight.push(0);
     }
 }
 
@@ -604,7 +683,9 @@ fn make_worker(id: NodeId, spec: NodeSpec, config: &ClusterConfig, image: &Arc<I
         model,
         heap,
         env,
-        threads: HashMap::new(),
+        threads: Vec::new(),
+        free_slots: Vec::new(),
+        live: 0,
         ready: VecDeque::new(),
         cpu_free: vec![0; config.cpus_per_node],
         cpu_busy: vec![false; config.cpus_per_node],

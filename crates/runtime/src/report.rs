@@ -35,6 +35,11 @@ pub struct RunReport {
     pub setup_ps: u64,
     /// Serialized size of the shipped program.
     pub class_bytes: u64,
+    /// High-water mark of *simultaneously live* scheduler events: the final
+    /// length of the event-payload slab, whose slots are recycled through a
+    /// free list. Stays flat as total events processed grows — asserted by
+    /// the bounded-memory regression test.
+    pub event_slab_high_water: u64,
 }
 
 impl RunReport {

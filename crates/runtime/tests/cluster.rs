@@ -352,7 +352,154 @@ fn runs_are_deterministic() {
     assert_eq!(a.exec_time_ps, b.exec_time_ps);
     assert_eq!(a.ops, b.ops);
     assert_eq!(a.output, b.output);
-    assert_eq!(a.net_total().msgs_sent, b.net_total().msgs_sent);
+    // Bit-identical per-node protocol behaviour, not just totals: any
+    // scheduler or DSM change that leaks host nondeterminism (e.g. HashMap
+    // iteration order into message order) shows up here.
+    assert_eq!(a.net_per_node, b.net_per_node);
+    assert_eq!(a.dsm_per_node, b.dsm_per_node);
+    assert_eq!(a.setup_ps, b.setup_ps);
+    assert_eq!(a.event_slab_high_water, b.event_slab_high_water);
+}
+
+/// A worker trapping *while holding a shared object's lock* must not take
+/// the lock to its grave: the error path flushes the DSM interval and
+/// releases held locks just like normal termination, so surviving threads
+/// can continue.
+#[test]
+fn trap_while_holding_shared_lock_releases_it() {
+    let p = {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("Acc", "java.lang.Object", |cb| {
+            cb.default_ctor("java.lang.Object");
+            cb.field("total", Ty::I32);
+            cb.synchronized_method("add", &[Ty::I32], None, |m| {
+                m.load(0).load(0).getfield("Acc", "total").load(1).iadd().putfield("Acc", "total").ret();
+            });
+            cb.synchronized_method("get", &[], Some(Ty::I32), |m| {
+                m.load(0).getfield("Acc", "total").ret_val();
+            });
+            // Burn enough cycles under the lock to outlive a scheduling
+            // quantum, then divide by zero.
+            cb.synchronized_method("boom", &[], None, |m| {
+                let top = m.new_label();
+                let end = m.new_label();
+                m.load(0).const_i32(1).putfield("Acc", "total");
+                m.const_i32(0).store(1);
+                m.bind(top);
+                m.load(1).const_i32(50_000).if_icmp(Cmp::Ge, end);
+                m.iinc(1, 1).goto(top);
+                m.bind(end);
+                m.const_i32(1).const_i32(0).idiv().store(1);
+                m.ret();
+            });
+        });
+        pb.class("A", "java.lang.Thread", |cb| {
+            cb.field("acc", Ty::Ref);
+            cb.method("<init>", &[Ty::Ref], None, |m| {
+                m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+                m.load(0).load(1).putfield("A", "acc").ret();
+            });
+            cb.method("run", &[], None, |m| {
+                m.load(0).getfield("A", "acc").invokevirtual("boom", &[], None).ret();
+            });
+        });
+        pb.class("B", "java.lang.Thread", |cb| {
+            cb.field("acc", Ty::Ref);
+            cb.method("<init>", &[Ty::Ref], None, |m| {
+                m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+                m.load(0).load(1).putfield("B", "acc").ret();
+            });
+            cb.method("run", &[], None, |m| {
+                // Delay off-lock so A wins the first acquire, then add.
+                let top = m.new_label();
+                let end = m.new_label();
+                m.const_i32(0).store(1);
+                m.bind(top);
+                m.load(1).const_i32(20_000).if_icmp(Cmp::Ge, end);
+                m.iinc(1, 1).goto(top);
+                m.bind(end);
+                m.load(0).getfield("B", "acc").const_i32(5).invokevirtual("add", &[Ty::I32], None);
+                m.ret();
+            });
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.construct("Acc", &[], |_| {}).store(0);
+                m.construct("A", &[Ty::Ref], |m| {
+                    m.load(0);
+                })
+                .store(1);
+                m.construct("B", &[Ty::Ref], |m| {
+                    m.load(0);
+                })
+                .store(2);
+                m.load(1).invokevirtual("start", &[], None);
+                m.load(2).invokevirtual("start", &[], None);
+                m.load(2).invokevirtual("join", &[], None);
+                m.load(0).invokevirtual("get", &[], Some(Ty::I32)).println_i32();
+                m.ret();
+            });
+        });
+        pb.build_with_stdlib()
+    };
+    let r = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 3), &p).expect("cluster");
+    assert_eq!(r.errors.len(), 1, "exactly the boom thread trapped: {:?}", r.errors);
+    assert!(!r.deadlocked, "B must acquire the lock the trapped thread held");
+    assert!(!r.aborted);
+    // boom set total=1 under the lock before trapping; its interval is
+    // flushed on the error path, so B reads 1 and prints 6.
+    assert_eq!(r.output, vec!["6"]);
+}
+
+/// Event storage must be bounded by *live* events, not by events processed:
+/// a long run with tiny quanta churns through >100k slice events while the
+/// payload slab (recycled through a free list) stays a few entries long.
+#[test]
+fn event_slab_stays_bounded() {
+    // Two compute-heavy workers: ~2.4M interpreted ops.
+    let p = {
+        let mut pb = ProgramBuilder::new("M");
+        pb.class("W", "java.lang.Thread", |cb| {
+            cb.default_ctor("java.lang.Thread");
+            cb.method("run", &[], None, |m| {
+                let top = m.new_label();
+                let end = m.new_label();
+                m.const_i32(0).store(1);
+                m.bind(top);
+                m.load(1).const_i32(400_000).if_icmp(Cmp::Ge, end);
+                m.iinc(1, 1).goto(top);
+                m.bind(end).ret();
+            });
+        });
+        pb.class("M", "java.lang.Object", |cb| {
+            cb.static_method("main", &[], None, |m| {
+                m.construct("W", &[], |_| {}).store(0);
+                m.construct("W", &[], |_| {}).store(1);
+                m.load(0).invokevirtual("start", &[], None);
+                m.load(1).invokevirtual("start", &[], None);
+                m.load(0).invokevirtual("join", &[], None);
+                m.load(1).invokevirtual("join", &[], None);
+                m.const_i32(7).println_i32();
+                m.ret();
+            });
+        });
+        pb.build_with_stdlib()
+    };
+    let mut cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 2);
+    cfg.fuel = 16; // tiny quantum: one slice event per 16 interpreted ops
+    let r = run_cluster(cfg, &p).expect("cluster");
+    r.expect_clean();
+    assert_eq!(r.output, vec!["7"]);
+    assert!(
+        r.ops >= 16 * 100_000,
+        "want >=100k slice events to make the bound meaningful, got {} ops",
+        r.ops
+    );
+    assert!(
+        r.event_slab_high_water < 128,
+        "event slab grew with total events, not live events: {}",
+        r.event_slab_high_water
+    );
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Statistics are intentionally simple — mean/min/max of wall-clock samples
+//! printed to stdout — the real measurement harness for this repository is
+//! `repro perf` (see `crates/bench/src/perf.rs`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Accepts (and ignores, except for a substring filter) CLI args so
+    /// `cargo bench -- <filter>` keeps working.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, filter: self.filter.clone(), _c: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    _c: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!("{full:<60} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One warm-up, then timed samples.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

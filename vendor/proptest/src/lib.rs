@@ -1,0 +1,172 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it uses: [`Strategy`] with `prop_map` /
+//! `prop_filter` / `prop_shuffle`, [`strategy::Just`], `any::<T>()`, integer
+//! ranges, tuples, `collection::vec`, the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros and a [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest: generation is driven by a fixed-seed
+//! xorshift generator (fully deterministic across runs), there is no
+//! shrinking, and failing cases report the debug form of the input without
+//! minimization. For the property tests in this repository that trade-off is
+//! fine — determinism is actually a feature here.
+
+pub mod strategy;
+
+pub mod test_runner {
+    use crate::strategy::{Rng, Strategy};
+
+    /// Failure of a single test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`cases` is the only knob the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Generates inputs and runs the property closure `cases` times.
+    #[derive(Debug, Default)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> TestCaseResult,
+        ) -> Result<(), String>
+        where
+            S::Value: std::fmt::Debug,
+        {
+            for case in 0..self.config.cases {
+                // Distinct, reproducible stream per case.
+                let mut rng = Rng::new(0x9E37_79B9_7F4A_7C15 ^ (case as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                let input = strategy.generate(&mut rng);
+                let repr = format!("{input:?}");
+                if let Err(e) = test(input) {
+                    return Err(format!("case {case} failed: {e}\ninput: {repr}"));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failure aborts only the current case with a
+/// report of the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($strat) as _),+])
+    };
+}
+
+/// `proptest! { #[test] fn name(x in strat, ...) { body } ... }`
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner
+                    .run(&($($strat,)+), |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@cfg ($cfg) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*}
+    };
+}
