@@ -12,8 +12,12 @@
 //! `repro perf [--smoke]` is separate from `all`: it measures *host*
 //! wall-clock and ops/sec (nondeterministic) and writes `BENCH_PERF.json`
 //! at the repo root.
+//!
+//! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
+//! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
+//! the repo root and self-checks the trace invariants.
 
-use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4};
+use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
 use jsplit_runtime::{ClusterConfig, NodeSpec};
@@ -33,6 +37,25 @@ fn main() {
         match perf::write_json(&pts, smoke) {
             Ok(path) => println!("\nwrote {}", path.display()),
             Err(e) => eprintln!("\nfailed to write BENCH_PERF.json: {e}"),
+        }
+        return;
+    }
+
+    if section == "trace" {
+        // Observability harness: like perf, never part of `all` (its output
+        // is a file at the repo root, not a table).
+        let app = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .map(String::as_str)
+            .unwrap_or("tsp");
+        match tracecmd::run(app, smoke) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("repro trace: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

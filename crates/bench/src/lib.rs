@@ -20,6 +20,7 @@ pub mod ablation;
 pub mod measure;
 pub mod perf;
 pub mod table1;
+pub mod tracecmd;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -15,6 +15,7 @@ use jsplit_mjvm::instr::ElemTy;
 use jsplit_mjvm::loader::{ClassId, Image};
 use jsplit_mjvm::value::Value;
 use jsplit_net::NodeId;
+use jsplit_trace::TraceEvent;
 use std::collections::{HashMap, HashSet};
 
 /// Scalar vs vector timestamps + bounded vs full notice history: the two
@@ -155,6 +156,13 @@ pub struct DsmNode {
     /// Cached-copy region validity/version, by base gid (homes are always
     /// valid; versions live in `homes` per region gid).
     region_state: HashMap<Gid, Vec<(DsmState, u32)>>,
+    /// Unstamped trace events buffered for the runtime, which stamps them
+    /// with virtual time at its drain points (the engine is clock-free).
+    /// `None` keeps every hook to a single branch.
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Whether an AckWaitBegin has been emitted without its AckWaitEnd
+    /// (a transfer/home-release is currently deferred behind diff acks).
+    ack_wait_open: bool,
 }
 
 /// Chunked-array bookkeeping (paper §4.3: "allocating several instances of
@@ -211,12 +219,29 @@ impl DsmNode {
             chunks: HashMap::new(),
             region_of: HashMap::new(),
             region_state: HashMap::new(),
+            trace: None,
+            ack_wait_open: false,
         }
     }
 
     /// Drain the pending actions for the runtime to execute.
     pub fn drain_actions(&mut self) -> Vec<Action> {
         std::mem::take(&mut self.outbox)
+    }
+
+    #[inline]
+    fn tr(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+
+    /// Take the buffered (unstamped) trace events for the runtime to stamp.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match &mut self.trace {
+            Some(t) if !t.is_empty() => std::mem::take(t),
+            _ => Vec::new(),
+        }
     }
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
@@ -309,6 +334,7 @@ impl DsmNode {
         }
         self.stats.promotions += 1;
         self.stats.homed_objects += 1;
+        self.tr(TraceEvent::Promote { node: self.id, gid: gid.0 });
         gid
     }
 
@@ -603,6 +629,7 @@ impl DsmNode {
         waiters.push(thread);
         if first {
             self.stats.fetches += 1;
+            self.tr(TraceEvent::FetchRequest { node: self.id, gid: gid.0, thread });
             let need = self.notices.requirement_of(gid);
             self.send(gid.home(), Msg::Fetch { gid, need, node: self.id, thread, want_idx });
         }
@@ -671,6 +698,7 @@ impl DsmNode {
                     ls.holder = Some(thread);
                     ls.count = c;
                     self.stats.shared_acquires_local += 1;
+                    self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
                     return LockOutcome::EnteredShared;
                 }
             }
@@ -678,12 +706,14 @@ impl DsmNode {
                 Some(h) if h == thread => {
                     ls.count += 1;
                     self.stats.shared_acquires_local += 1;
+                    self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
                     LockOutcome::EnteredShared
                 }
                 None if ls.granted_to.is_none() => {
                     ls.holder = Some(thread);
                     ls.count = 1;
                     self.stats.shared_acquires_local += 1;
+                    self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
                     LockOutcome::EnteredShared
                 }
                 _ => {
@@ -695,6 +725,7 @@ impl DsmNode {
                         saved_count: 0,
                         vc: Vec::new(),
                     });
+                    self.tr(TraceEvent::LockRequest { node: self.id, gid: gid.0, thread });
                     LockOutcome::Blocked
                 }
             }
@@ -703,6 +734,7 @@ impl DsmNode {
             // go to the manager, which forwards to the current owner).
             if ls.sent_remote_req.insert(thread) {
                 self.stats.shared_acquires_remote += 1;
+                self.tr(TraceEvent::LockRequest { node: self.id, gid: gid.0, thread });
                 let vc = self.my_vc();
                 self.send(gid.home(), Msg::LockReq { lock: gid, node: self.id, thread, priority, vc });
             }
@@ -791,6 +823,7 @@ impl DsmNode {
         ls.holder = None;
         ls.count = 0;
         self.stats.waits += 1;
+        self.tr(TraceEvent::WaitPark { node: self.id, gid: gid.0, thread });
         self.try_grant(heap, gid);
         Ok(())
     }
@@ -825,6 +858,7 @@ impl DsmNode {
             });
         }
         self.stats.notifies += 1;
+        self.tr(TraceEvent::Notify { node: self.id, gid: gid.0, thread, all });
         Ok(())
     }
 
@@ -854,8 +888,11 @@ impl DsmNode {
             let req = ls.request_q.remove(best_idx);
             ls.sent_remote_req.remove(&req.thread);
             if req.resume_wait {
+                // A resumed waiter re-enters without a monitor_enter retry,
+                // so its acquire is traced here.
                 ls.holder = Some(req.thread);
                 ls.count = req.saved_count;
+                self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread: req.thread });
             } else {
                 ls.granted_to = Some((req.thread, 1));
             }
@@ -873,10 +910,19 @@ impl DsmNode {
             if !self.deferred_transfers.contains(&gid) {
                 self.deferred_transfers.push(gid);
                 self.stats.releases_awaiting_acks += 1;
+                self.note_ack_wait_begin();
             }
             return;
         }
         self.transfer(gid, best_idx);
+    }
+
+    /// Open the ack-wait window on the first deferral (trace bookkeeping).
+    fn note_ack_wait_begin(&mut self) {
+        if !self.ack_wait_open {
+            self.ack_wait_open = true;
+            self.tr(TraceEvent::AckWaitBegin { node: self.id });
+        }
     }
 
     /// Complete a remote transfer: ownership + queues + notices leave.
@@ -891,6 +937,7 @@ impl DsmNode {
         let notices = self.notices.for_grant(&req.vc);
         let vc = self.my_vc();
         self.stats.grants_sent += 1;
+        self.tr(TraceEvent::LockGrant { node: self.id, gid: gid.0, to_node: req.node, to_thread: req.thread });
         self.send(
             req.node,
             Msg::LockGrant {
@@ -950,6 +997,7 @@ impl DsmNode {
             }
             self.stats.diffs_sent += 1;
             self.stats.diff_fields += d.len() as u64;
+            self.tr(TraceEvent::DiffFlush { node: self.id, gid: gid.0, entries: d.len() as u32 });
             // Map entry values to wire values (sharing referenced locals).
             let entries: Vec<(u32, WVal)> = d
                 .entries
@@ -1047,6 +1095,7 @@ impl DsmNode {
                 self.handle_diff(heap, image, gid, entries, node, interval, want_ack);
             }
             Msg::DiffAck { gid, version } => {
+                self.tr(TraceEvent::DiffAck { node: self.id, gid: gid.0, version });
                 let req = Requirement::from_ts(&Timestamp::Scalar(version));
                 self.notices.record(gid, self.id, self.interval, &req);
                 self.note_notice_pressure();
@@ -1057,6 +1106,10 @@ impl DsmNode {
                     }
                 }
                 if self.outstanding_acks.is_empty() {
+                    if self.ack_wait_open {
+                        self.ack_wait_open = false;
+                        self.tr(TraceEvent::AckWaitEnd { node: self.id });
+                    }
                     let deferred = std::mem::take(&mut self.deferred_transfers);
                     for lock in deferred {
                         self.try_grant(heap, lock);
@@ -1072,9 +1125,11 @@ impl DsmNode {
             }
             Msg::ObjState { gid, class, state, version, applied, to_thread: _, offset, chunk_info } => {
                 self.install_state_at(heap, image, gid, ClassId(class), &state, version, &applied, offset, chunk_info);
+                let mut woken: u32 = 0;
                 if let Some(waiters) = self.waiting_fetch.remove(&gid) {
                     for t in waiters {
                         self.wake(t);
+                        woken += 1;
                     }
                 }
                 // First-contact region replies also satisfy base-gid waiters.
@@ -1083,9 +1138,11 @@ impl DsmNode {
                     if let Some(waiters) = self.waiting_fetch.remove(&base) {
                         for t in waiters {
                             self.wake(t);
+                            woken += 1;
                         }
                     }
                 }
+                self.tr(TraceEvent::FetchDone { node: self.id, gid: gid.0, woken });
             }
             Msg::SpawnThread { .. } | Msg::Println { .. } => {
                 unreachable!("runtime-level messages must be handled by the runtime")
@@ -1168,8 +1225,10 @@ impl DsmNode {
         }
         ls.sent_remote_req.remove(&to_thread);
         if resume_wait {
+            // Resumed waiters re-enter without a monitor_enter retry.
             ls.holder = Some(to_thread);
             ls.count = saved_count;
+            self.tr(TraceEvent::LockAcquire { node: self.id, gid: lock.0, thread: to_thread });
         } else {
             ls.granted_to = Some((to_thread, saved_count));
         }
@@ -1196,6 +1255,7 @@ impl DsmNode {
                 if st == DsmState::Valid && !req.satisfied_by(ver, applied) {
                     states[region as usize].0 = DsmState::Invalid;
                     self.stats.invalidations += 1;
+                    self.tr(TraceEvent::Invalidate { node: self.id, gid: gid.0 });
                 }
             }
             return;
@@ -1207,6 +1267,7 @@ impl DsmNode {
             if hdr.state == DsmState::Valid && !req.satisfied_by(hdr.version, applied) {
                 heap.get_mut(local).dsm.state = DsmState::Invalid;
                 self.stats.invalidations += 1;
+                self.tr(TraceEvent::Invalidate { node: self.id, gid: gid.0 });
             }
         }
     }
@@ -1337,6 +1398,7 @@ impl DsmNode {
         if self.config.mode == ProtocolMode::MtsHlrc && !self.outstanding_acks.is_empty() {
             if !self.deferred_home_releases.contains(&lock) {
                 self.deferred_home_releases.push(lock);
+                self.note_ack_wait_begin();
             }
             return;
         }
@@ -1346,6 +1408,7 @@ impl DsmNode {
         ls.forwarded_to = Some(lock.home());
         let notices = self.notices.for_grant(&[]);
         let vc = self.my_vc();
+        self.tr(TraceEvent::LockHomeRelease { node: self.id, gid: lock.0 });
         self.send(
             lock.home(),
             Msg::LockGrant {

@@ -35,13 +35,17 @@ pub struct Network {
     /// FIFO guarantee per (src,dst): delivery times never reorder.
     last_delivery: HashMap<(NodeId, NodeId), u64>,
     pub stats: Vec<NetStats>,
+    /// Trace buffer: the network knows both send and delivery times, so it
+    /// stamps its own events; the runtime drains this into its recorder.
+    /// `None` (the default) keeps the send path allocation-free.
+    pub trace: Option<Vec<jsplit_trace::Event>>,
 }
 
 impl Network {
     /// One entry per node, in node-id order.
     pub fn new(links: Vec<LinkParams>) -> Network {
         let n = links.len();
-        Network { links, last_delivery: HashMap::new(), stats: vec![NetStats::default(); n] }
+        Network { links, last_delivery: HashMap::new(), stats: vec![NetStats::default(); n], trace: None }
     }
 
     pub fn nodes(&self) -> usize {
@@ -70,6 +74,18 @@ impl Network {
         let slot = self.last_delivery.entry((src, dst)).or_insert(0);
         let t = raw.max(*slot + 1); // strictly increasing per link = FIFO
         *slot = t;
+        if let Some(trace) = &mut self.trace {
+            trace.push(jsplit_trace::Event {
+                t: now_ps,
+                ev: jsplit_trace::TraceEvent::NetSend {
+                    src,
+                    dst,
+                    kind: kind.into(),
+                    bytes: bytes as u32,
+                    deliver: t,
+                },
+            });
+        }
         t
     }
 
@@ -168,6 +184,37 @@ mod tests {
                 },
             )
             .unwrap();
+    }
+
+    #[test]
+    fn trace_buffer_records_sends_with_kind_and_delivery() {
+        let mut net = Network::new(vec![sun_link(), ibm_link()]);
+        net.trace = Some(Vec::new());
+        let t1 = net.send(100, 0, 1, 65, MsgKind::LockReq);
+        let t2 = net.send(200, 1, 1, 10, MsgKind::Control); // loopback
+        let trace = net.trace.take().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].t, 100);
+        assert_eq!(
+            trace[0].ev,
+            jsplit_trace::TraceEvent::NetSend {
+                src: 0,
+                dst: 1,
+                kind: jsplit_trace::NetKind::LockReq,
+                bytes: 65,
+                deliver: t1,
+            }
+        );
+        assert_eq!(
+            trace[1].ev,
+            jsplit_trace::TraceEvent::NetSend {
+                src: 1,
+                dst: 1,
+                kind: jsplit_trace::NetKind::Control,
+                bytes: 10,
+                deliver: t2,
+            }
+        );
     }
 
     #[test]

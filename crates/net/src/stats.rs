@@ -24,6 +24,22 @@ pub enum MsgKind {
     Control,
 }
 
+impl From<MsgKind> for jsplit_trace::NetKind {
+    fn from(k: MsgKind) -> jsplit_trace::NetKind {
+        use jsplit_trace::NetKind;
+        match k {
+            MsgKind::LockReq => NetKind::LockReq,
+            MsgKind::LockGrant => NetKind::LockGrant,
+            MsgKind::Diff => NetKind::Diff,
+            MsgKind::DiffAck => NetKind::DiffAck,
+            MsgKind::Fetch => NetKind::Fetch,
+            MsgKind::ObjState => NetKind::ObjState,
+            MsgKind::Spawn => NetKind::Spawn,
+            MsgKind::Control => NetKind::Control,
+        }
+    }
+}
+
 impl MsgKind {
     pub const ALL: [MsgKind; 8] = [
         MsgKind::LockReq,
@@ -74,6 +90,10 @@ pub struct NetStats {
     pub sent_by_kind: [u64; 8],
     /// Sent byte counts per [`MsgKind`].
     pub bytes_by_kind: [u64; 8],
+    /// Received message counts per [`MsgKind`].
+    pub recv_by_kind: [u64; 8],
+    /// Received byte counts per [`MsgKind`].
+    pub recv_bytes_by_kind: [u64; 8],
 }
 
 impl NetStats {
@@ -85,13 +105,22 @@ impl NetStats {
     }
 
     pub(crate) fn record_recv(&mut self, bytes: usize, kind: MsgKind) {
-        let _ = kind;
         self.msgs_recv += 1;
         self.bytes_recv += bytes as u64;
+        self.recv_by_kind[kind.idx()] += 1;
+        self.recv_bytes_by_kind[kind.idx()] += bytes as u64;
     }
 
     pub fn sent_of(&self, kind: MsgKind) -> u64 {
         self.sent_by_kind[kind.idx()]
+    }
+
+    pub fn recv_of(&self, kind: MsgKind) -> u64 {
+        self.recv_by_kind[kind.idx()]
+    }
+
+    pub fn recv_bytes_of(&self, kind: MsgKind) -> u64 {
+        self.recv_bytes_by_kind[kind.idx()]
     }
 
     /// Merge another node's counters (for cluster-wide summaries).
@@ -103,6 +132,8 @@ impl NetStats {
         for i in 0..8 {
             self.sent_by_kind[i] += other.sent_by_kind[i];
             self.bytes_by_kind[i] += other.bytes_by_kind[i];
+            self.recv_by_kind[i] += other.recv_by_kind[i];
+            self.recv_bytes_by_kind[i] += other.recv_bytes_by_kind[i];
         }
     }
 }
@@ -132,5 +163,25 @@ mod tests {
         assert_eq!(a.bytes_sent, 30);
         assert_eq!(a.sent_of(MsgKind::Diff), 2);
         assert_eq!(a.msgs_recv, 1);
+        assert_eq!(a.recv_of(MsgKind::Diff), 1);
+        assert_eq!(a.recv_bytes_of(MsgKind::Diff), 10);
+    }
+
+    #[test]
+    fn recv_tracks_kind() {
+        let mut s = NetStats::default();
+        s.record_recv(100, MsgKind::ObjState);
+        s.record_recv(8, MsgKind::DiffAck);
+        s.record_recv(8, MsgKind::DiffAck);
+        assert_eq!(s.recv_of(MsgKind::ObjState), 1);
+        assert_eq!(s.recv_bytes_of(MsgKind::ObjState), 100);
+        assert_eq!(s.recv_of(MsgKind::DiffAck), 2);
+        assert_eq!(s.recv_of(MsgKind::Fetch), 0);
+        assert_eq!(s.msgs_recv, 3);
+        // The kind arrays participate in equality.
+        let mut t = NetStats::default();
+        t.msgs_recv = 3;
+        t.bytes_recv = 116;
+        assert_ne!(s, t);
     }
 }

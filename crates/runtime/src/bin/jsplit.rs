@@ -3,6 +3,7 @@
 //! ```text
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
+//!        [--trace out.json] [--stats]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -21,6 +22,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
+         \x20          [--trace out.json] [--stats]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -59,6 +61,8 @@ fn cmd_run(rest: &[String]) {
     let mut protocol = ProtocolMode::MtsHlrc;
     let mut chunk: Option<u32> = None;
     let mut balancer = Balancer::LeastLoaded;
+    let mut trace_path: Option<String> = None;
+    let mut stats = false;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +83,8 @@ fn cmd_run(rest: &[String]) {
                 }
             }
             "--chunk" => chunk = it.next().and_then(|s| s.parse().ok()),
+            "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--stats" => stats = true,
             "--balancer" => {
                 balancer = match it.next().map(String::as_str) {
                     Some("least") => Balancer::LeastLoaded,
@@ -100,6 +106,9 @@ fn cmd_run(rest: &[String]) {
     cfg.protocol = protocol;
     cfg.array_chunk = chunk;
     cfg.balancer = balancer;
+    if trace_path.is_some() || stats {
+        cfg.trace = Some(jsplit_trace::TraceMode::Full);
+    }
 
     let report = run_cluster(cfg, &program).unwrap_or_else(|e| {
         eprintln!("jsplit: {e}");
@@ -119,6 +128,18 @@ fn cmd_run(rest: &[String]) {
         report.net_total().msgs_sent,
         report.net_total().bytes_sent,
     );
+    if stats {
+        eprint!("{}", report.summary());
+    }
+    if let Some(out) = trace_path {
+        let events = report.trace.as_deref().unwrap_or(&[]);
+        let json = jsplit_trace::chrome_trace(events);
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("jsplit: cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[jsplit] wrote {} trace events ({} B) to {out}", events.len(), json.len());
+    }
     if report.deadlocked {
         eprintln!("[jsplit] DEADLOCK: live threads could not make progress");
         std::process::exit(3);

@@ -3,6 +3,7 @@
 use crate::balance::Balancer;
 use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::cost::JvmProfile;
+use jsplit_trace::TraceMode;
 
 /// Original program on one node vs rewritten program on the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,9 @@ pub struct ClusterConfig {
     /// §4.3 extension: chunk arrays longer than this many elements into
     /// per-region coherency units (`None` = paper-prototype behaviour).
     pub array_chunk: Option<u32>,
+    /// Structured event tracing (`None` = disabled, the zero-cost default;
+    /// the run behaves bit-identically either way).
+    pub trace: Option<TraceMode>,
 }
 
 impl ClusterConfig {
@@ -68,6 +72,7 @@ impl ClusterConfig {
             joins: Vec::new(),
             disable_local_locks: false,
             array_chunk: None,
+            trace: None,
         }
     }
 
@@ -84,6 +89,7 @@ impl ClusterConfig {
             joins: Vec::new(),
             disable_local_locks: false,
             array_chunk: None,
+            trace: None,
         }
     }
 
@@ -100,6 +106,7 @@ impl ClusterConfig {
             joins: Vec::new(),
             disable_local_locks: false,
             array_chunk: None,
+            trace: None,
         }
     }
 
@@ -132,6 +139,13 @@ impl ClusterConfig {
         self.max_ops = max_ops;
         self
     }
+
+    /// Enable structured event tracing ([`TraceMode::Full`] for the whole
+    /// stream, `Ring(n)` for the last n events).
+    pub fn with_trace(mut self, mode: TraceMode) -> Self {
+        self.trace = Some(mode);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +164,8 @@ mod tests {
         let b = ClusterConfig::baseline(JvmProfile::IbmSim, 2);
         assert_eq!(b.mode, Mode::Baseline);
         assert_eq!(b.cpus_per_node, 2);
+        assert_eq!(b.trace, None);
+        let t = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_trace(TraceMode::Ring(64));
+        assert_eq!(t.trace, Some(TraceMode::Ring(64)));
     }
 }

@@ -16,6 +16,7 @@ use jsplit_mjvm::interp::{CheckOutcome, MonOutcome, Thread, VmError};
 use jsplit_mjvm::loader::ClassId;
 use jsplit_mjvm::{BaselineEnv, Value, VmEnv};
 use jsplit_net::NodeId;
+use jsplit_trace::BlockReason;
 use std::collections::HashMap;
 
 /// The JavaSplit worker environment.
@@ -34,6 +35,9 @@ pub struct JsEnv {
     /// Console lines emitted on the console node itself.
     pub console: Vec<String>,
     pub thread_class: ClassId,
+    /// Why the last blocking operation blocked — consumed by the scheduler
+    /// when a slice ends `Blocked`, to tag the trace's stall interval.
+    pub block_reason: Option<BlockReason>,
     files: HashMap<i32, (String, Vec<String>, usize)>,
     next_fd: i32,
 }
@@ -53,6 +57,7 @@ impl JsEnv {
             sends: Vec::new(),
             console: Vec::new(),
             thread_class,
+            block_reason: None,
             files: HashMap::new(),
             next_fd: 3,
         }
@@ -67,14 +72,20 @@ impl VmEnv for JsEnv {
     fn check_read(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, _kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
         match self.dsm.check_read(heap, t.uid, obj, idx) {
             AccessOutcome::Hit => CheckOutcome::Proceed,
-            AccessOutcome::Miss => CheckOutcome::Miss,
+            AccessOutcome::Miss => {
+                self.block_reason = Some(BlockReason::Fetch);
+                CheckOutcome::Miss
+            }
         }
     }
 
     fn check_write(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef, _kind: AccessKind, idx: Option<i32>) -> CheckOutcome {
         match self.dsm.check_write(heap, t.uid, obj, idx) {
             AccessOutcome::Hit => CheckOutcome::Proceed,
-            AccessOutcome::Miss => CheckOutcome::Miss,
+            AccessOutcome::Miss => {
+                self.block_reason = Some(BlockReason::Fetch);
+                CheckOutcome::Miss
+            }
         }
     }
 
@@ -92,7 +103,10 @@ impl VmEnv for JsEnv {
         match self.dsm.monitor_enter(heap, t.uid, t.priority, obj) {
             LockOutcome::EnteredLocal => MonOutcome::Entered { cost: self.model.dsm_local_acquire },
             LockOutcome::EnteredShared => MonOutcome::Entered { cost: self.model.dsm_shared_acquire },
-            LockOutcome::Blocked => MonOutcome::Blocked { cost: self.model.dsm_shared_acquire },
+            LockOutcome::Blocked => {
+                self.block_reason = Some(BlockReason::Lock);
+                MonOutcome::Blocked { cost: self.model.dsm_shared_acquire }
+            }
         }
     }
 
@@ -106,6 +120,7 @@ impl VmEnv for JsEnv {
 
     fn obj_wait(&mut self, heap: &mut Heap, t: &mut Thread, obj: ObjRef) -> Result<u64, VmError> {
         self.dsm.obj_wait(heap, t.uid, t.priority, obj).map_err(mon_err)?;
+        self.block_reason = Some(BlockReason::Wait);
         Ok(self.model.dsm_shared_release + self.model.dsm_shared_acquire)
     }
 
@@ -127,6 +142,7 @@ impl VmEnv for JsEnv {
     fn sleep(&mut self, t: &mut Thread, millis: i64) -> u64 {
         let wake = self.now_ps + (millis.max(0) as u64) * jsplit_mjvm::cost::PS_PER_MS;
         self.sleepers.push((wake, t.uid));
+        self.block_reason = Some(BlockReason::Sleep);
         self.model.invoke
     }
 
@@ -186,6 +202,16 @@ impl NodeEnv {
         match self {
             NodeEnv::Js(e) => e,
             NodeEnv::Baseline(_) => panic!("baseline worker has no DSM engine"),
+        }
+    }
+
+    /// Why the slice that just ended blocked; defaults to
+    /// [`BlockReason::Other`] when no blocking site recorded one (baseline
+    /// monitors, joins).
+    pub fn take_block_reason(&mut self) -> BlockReason {
+        match self {
+            NodeEnv::Js(e) => e.block_reason.take().unwrap_or(BlockReason::Other),
+            NodeEnv::Baseline(_) => BlockReason::Other,
         }
     }
 

@@ -21,6 +21,7 @@ use jsplit_mjvm::loader::{ClassId, Image, LoadError, MethodId};
 use jsplit_mjvm::{stdlib, Value};
 use jsplit_net::{LinkParams, Network, NodeId};
 use jsplit_rewriter::{RewriteError, RewriteStats, STATICS_HOLDER};
+use jsplit_trace::{make_sink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -145,6 +146,11 @@ pub struct Cluster {
     class_bytes: usize,
     /// Virtual time spent distributing class files before the run.
     setup_ps: u64,
+    /// Structured event recorder (`None` = tracing disabled, the default;
+    /// every producer site checks this before doing any work).
+    recorder: Option<Box<dyn TraceSink>>,
+    /// Retired instructions per node (grown on join).
+    ops_per_node: Vec<u64>,
 }
 
 impl Cluster {
@@ -189,7 +195,10 @@ impl Cluster {
                 LinkParams { base_ns: m.net_base_ns, per_byte_ns: m.net_per_byte_ns }
             })
             .collect();
-        let net = Network::new(links);
+        let mut net = Network::new(links);
+        if config.trace.is_some() {
+            net.trace = Some(Vec::new());
+        }
 
         let mut workers = Vec::with_capacity(config.nodes.len());
         for (i, spec) in config.nodes.iter().enumerate() {
@@ -199,6 +208,8 @@ impl Cluster {
         // Sized eagerly for the initial pool (and grown in `join_worker`),
         // never lazily in the dispatch path.
         let in_flight = vec![0; workers.len()];
+        let recorder = config.trace.map(make_sink);
+        let ops_per_node = vec![0u64; workers.len()];
         let mut cluster = Cluster {
             lb: BalancerState::new(config.balancer),
             config,
@@ -224,6 +235,8 @@ impl Cluster {
             in_flight,
             class_bytes,
             setup_ps: 0,
+            recorder,
+            ops_per_node,
         };
 
         // Ship the rewritten class files to every worker during *setup*.
@@ -254,6 +267,12 @@ impl Cluster {
         let frame = Frame::new(main, locals, vec![], false);
         cluster.add_thread(CONSOLE_NODE, frame, None, 0);
 
+        // Setup-phase activity (statics bootstrap, class shipping) is part
+        // of the trace too; stamp its buffered DSM events at t = 0.
+        for n in 0..cluster.workers.len() {
+            cluster.drain_trace_buffers(n as NodeId, 0);
+        }
+
         Ok(cluster)
     }
 
@@ -280,6 +299,33 @@ impl Cluster {
             for (class, slot, gid, comp) in &singletons {
                 let local = w.env.js().dsm.ensure_cached(&mut w.heap, &image, *gid, *comp);
                 w.heap.set_static(*class, *slot, Value::Ref(local));
+            }
+        }
+    }
+
+    /// Record one trace event at virtual time `t` (no-op when disabled).
+    #[inline]
+    fn tr(&mut self, t: u64, ev: TraceEvent) {
+        if let Some(r) = &mut self.recorder {
+            r.record(jsplit_trace::Event { t, ev });
+        }
+    }
+
+    /// Stamp and flush the clock-free DSM buffer of `node` at `now`, plus
+    /// the network's pre-stamped send events. Called at every point where a
+    /// worker's effects are drained, so stamps are deterministic.
+    fn drain_trace_buffers(&mut self, node: NodeId, now: u64) {
+        let Some(r) = &mut self.recorder else {
+            return;
+        };
+        if let NodeEnv::Js(e) = &mut self.workers[node as usize].env {
+            for ev in e.dsm.take_trace() {
+                r.record(jsplit_trace::Event { t: now, ev });
+            }
+        }
+        if let Some(buf) = &mut self.net.trace {
+            for e in buf.drain(..) {
+                r.record(e);
             }
         }
     }
@@ -313,6 +359,7 @@ impl Cluster {
             }
         }
         let slot = self.workers[node as usize].insert_thread(th);
+        self.tr(now, TraceEvent::ThreadSpawn { node, thread: uid });
         debug_assert_eq!(self.thread_slot.len(), uid as usize);
         self.thread_slot.push(slot);
         self.in_ready.push(true);
@@ -360,6 +407,7 @@ impl Cluster {
         if self.thread_slot[i] == DEAD_SLOT || self.in_ready[i] {
             return;
         }
+        self.tr(now, TraceEvent::ThreadReady { node, thread });
         self.in_ready[i] = true;
         self.workers[node as usize].ready.push_back(thread);
         self.schedule(node, now);
@@ -405,6 +453,7 @@ impl Cluster {
         for (thread_obj, priority) in spawns {
             self.dispatch_spawn(node, thread_obj, priority, now);
         }
+        self.drain_trace_buffers(node, now);
     }
 
     fn transmit(&mut self, now: u64, src: NodeId, dst: NodeId, msg: Msg) {
@@ -436,6 +485,9 @@ impl Cluster {
                     let env = w.env.js();
                     env.dsm.prepare_spawn(&mut w.heap, image, thread_obj, priority)
                 };
+                if let Msg::SpawnThread { thread_gid, .. } = &msg {
+                    self.tr(now, TraceEvent::ThreadShip { from: origin, to: dst, thread_gid: thread_gid.0 });
+                }
                 // Shipping may have shared objects; nothing else to drain
                 // (prepare_spawn itself queues no sends).
                 self.transmit(now, origin, dst, msg);
@@ -472,6 +524,28 @@ impl Cluster {
             NodeEnv::Js(e) => self.console.append(&mut e.console),
             NodeEnv::Baseline(e) => self.console.append(&mut e.output),
         }
+        // Flush every worker's remaining buffered trace events at the
+        // horizon, then order the stream by virtual time (stable, so the
+        // deterministic insertion order breaks ties).
+        let finish = self.finish_time;
+        for n in 0..self.workers.len() {
+            self.drain_trace_buffers(n as NodeId, finish);
+        }
+        let trace = self.recorder.take().map(|r| {
+            let mut evs = r.into_events();
+            evs.sort_by_key(|e| e.t);
+            evs
+        });
+        let (breakdown, lock_stats) = match &trace {
+            Some(evs) => {
+                let cpus: Vec<u32> = vec![self.config.cpus_per_node as u32; self.workers.len()];
+                (
+                    jsplit_trace::node_breakdown(evs, &cpus, finish),
+                    jsplit_trace::lock_contention(evs),
+                )
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         RunReport {
             exec_time_ps: self.finish_time,
             output: self.console,
@@ -493,11 +567,19 @@ impl Cluster {
             setup_ps: self.setup_ps,
             class_bytes: self.class_bytes as u64,
             event_slab_high_water: self.payloads.len() as u64,
+            ops_per_node: self.ops_per_node,
+            trace,
+            breakdown,
+            lock_stats,
         }
     }
 
     fn run_slice(&mut self, time: u64, node: NodeId, cpu: usize, thread: ThreadUid) {
         let fuel = self.config.fuel;
+        let tracing = self.recorder.is_some();
+        // Buffered locally: `self.workers` is mutably borrowed below, so the
+        // recorder can only be touched once the block ends.
+        let mut tev: Vec<(u64, TraceEvent)> = Vec::new();
         let outcome = {
             let image: &Image = &self.image;
             let w = &mut self.workers[node as usize];
@@ -519,17 +601,29 @@ impl Cluster {
                     w.cpu_free[cpu] = end;
                     w.cpu_busy[cpu] = false;
                     self.ops += out.ops;
+                    self.ops_per_node[node as usize] += out.ops;
+                    if tracing {
+                        tev.push((time, TraceEvent::Slice { node, cpu: cpu as u32, thread, end, ops: out.ops }));
+                    }
                     match out.state {
                         StepState::Running => {
                             self.in_ready[thread as usize] = true;
                             w.ready.push_back(thread);
                         }
-                        StepState::Blocked => {}
+                        StepState::Blocked => {
+                            if tracing {
+                                let reason = w.env.take_block_reason();
+                                tev.push((end, TraceEvent::ThreadBlock { node, thread, reason }));
+                            }
+                        }
                         StepState::Done => {
                             let th = w.remove_thread(slot);
                             self.thread_slot[thread as usize] = DEAD_SLOT;
                             self.live_threads -= 1;
                             self.finish_time = self.finish_time.max(end);
+                            if tracing {
+                                tev.push((end, TraceEvent::ThreadExit { node, thread }));
+                            }
                             // Thread exit is a release point: flush its
                             // interval now so joiners don't wait behind it,
                             // and hand the Thread object's lock back to its
@@ -555,6 +649,10 @@ impl Cluster {
                     self.errors.push((thread, e));
                     self.live_threads -= 1;
                     self.finish_time = self.finish_time.max(end);
+                    if tracing {
+                        tev.push((time, TraceEvent::Slice { node, cpu: cpu as u32, thread, end, ops: 0 }));
+                        tev.push((end, TraceEvent::ThreadExit { node, thread }));
+                    }
                     // A trapped thread is still a release point (it can
                     // never run again): flush its interval, force-drop any
                     // monitors it still holds so blocked siblings don't
@@ -573,6 +671,9 @@ impl Cluster {
                 }
             }
         };
+        for (t, ev) in tev {
+            self.tr(t, ev);
+        }
         if let Some(end) = outcome {
             self.drain_effects(node, end);
             self.schedule(node, end);
@@ -655,6 +756,7 @@ impl Cluster {
         }
         self.workers.push(w);
         self.in_flight.push(0);
+        self.ops_per_node.push(0);
     }
 }
 
@@ -662,7 +764,7 @@ fn make_worker(id: NodeId, spec: NodeSpec, config: &ClusterConfig, image: &Arc<I
     let model = spec.profile.cost_model();
     let mut heap = Heap::new();
     heap.init_statics(image);
-    let env = match config.mode {
+    let mut env = match config.mode {
         Mode::Baseline => NodeEnv::Baseline(jsplit_mjvm::BaselineEnv::new(model, thread_class)),
         Mode::JavaSplit => NodeEnv::Js(JsEnv::new(
             model,
@@ -678,6 +780,11 @@ fn make_worker(id: NodeId, spec: NodeSpec, config: &ClusterConfig, image: &Arc<I
             thread_class,
         )),
     };
+    if config.trace.is_some() {
+        if let NodeEnv::Js(e) = &mut env {
+            e.dsm.trace = Some(Vec::new());
+        }
+    }
     Worker {
         id,
         model,

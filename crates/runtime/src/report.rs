@@ -5,6 +5,8 @@ use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::VmError;
 use jsplit_net::NetStats;
 use jsplit_rewriter::RewriteStats;
+use jsplit_trace::{Event, LockStat, NodeBreakdown};
+use std::fmt::Write as _;
 
 /// The result of a completed cluster run.
 #[derive(Debug)]
@@ -40,6 +42,20 @@ pub struct RunReport {
     /// free list. Stays flat as total events processed grows — asserted by
     /// the bounded-memory regression test.
     pub event_slab_high_water: u64,
+    /// Instructions retired per node.
+    pub ops_per_node: Vec<u64>,
+    /// The full structured event stream, sorted by virtual time (`None`
+    /// unless the run was configured with [`ClusterConfig::with_trace`]).
+    ///
+    /// [`ClusterConfig::with_trace`]: crate::config::ClusterConfig::with_trace
+    pub trace: Option<Vec<Event>>,
+    /// Per-node time breakdown derived from the trace (empty when tracing
+    /// is off). With [`jsplit_trace::TraceMode::Full`] each node's buckets
+    /// sum exactly to `exec_time_ps × cpus`.
+    pub breakdown: Vec<NodeBreakdown>,
+    /// Per-lock contention statistics derived from the trace (empty when
+    /// tracing is off).
+    pub lock_stats: Vec<LockStat>,
 }
 
 impl RunReport {
@@ -72,5 +88,80 @@ impl RunReport {
         assert!(!self.aborted, "run aborted by max_ops");
         assert!(self.errors.is_empty(), "thread traps: {:?}", self.errors);
         self
+    }
+
+    /// A human-readable per-node summary table, plus — when the run was
+    /// traced — the stall breakdown and the most contended locks.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "exec {:.6} s  ({} ops, {} threads{}{})",
+            self.exec_time_secs(),
+            self.ops,
+            self.threads,
+            if self.deadlocked { ", DEADLOCKED" } else { "" },
+            if self.aborted { ", ABORTED" } else { "" },
+        );
+        let _ = writeln!(
+            s,
+            "{:>4} {:>14} {:>9} {:>12} {:>9} {:>12} {:>8} {:>8} {:>8}",
+            "node", "ops", "snd msgs", "snd bytes", "rcv msgs", "rcv bytes", "fetches", "diffs", "grants"
+        );
+        for (i, ops) in self.ops_per_node.iter().enumerate() {
+            let net = self.net_per_node.get(i);
+            let dsm = self.dsm_per_node.get(i);
+            let _ = writeln!(
+                s,
+                "{:>4} {:>14} {:>9} {:>12} {:>9} {:>12} {:>8} {:>8} {:>8}",
+                i,
+                ops,
+                net.map_or(0, |n| n.msgs_sent),
+                net.map_or(0, |n| n.bytes_sent),
+                net.map_or(0, |n| n.msgs_recv),
+                net.map_or(0, |n| n.bytes_recv),
+                dsm.map_or(0, |d| d.fetches),
+                dsm.map_or(0, |d| d.diffs_sent),
+                dsm.map_or(0, |d| d.grants_sent),
+            );
+        }
+        if !self.breakdown.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "node", "compute%", "lock%", "fetch%", "ack%", "idle%"
+            );
+            for b in &self.breakdown {
+                let tot = b.total_ps().max(1) as f64;
+                let pct = |v: u64| 100.0 * v as f64 / tot;
+                let _ = writeln!(
+                    s,
+                    "{:>4} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                    b.node,
+                    pct(b.compute_ps),
+                    pct(b.lock_wait_ps),
+                    pct(b.fetch_stall_ps),
+                    pct(b.ack_wait_ps),
+                    pct(b.idle_ps),
+                );
+            }
+        }
+        if !self.lock_stats.is_empty() {
+            let mut hot: Vec<_> = self.lock_stats.iter().collect();
+            hot.sort_by_key(|l| std::cmp::Reverse(l.total_wait_ps));
+            let _ = writeln!(
+                s,
+                "{:>12} {:>9} {:>9} {:>7} {:>14} {:>14}",
+                "lock gid", "acquires", "transfers", "max q", "total wait ps", "mean wait ps"
+            );
+            for l in hot.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "{:>12} {:>9} {:>9} {:>7} {:>14} {:>14}",
+                    l.gid, l.acquires, l.transfers, l.max_queue, l.total_wait_ps, l.mean_wait_ps()
+                );
+            }
+        }
+        s
     }
 }

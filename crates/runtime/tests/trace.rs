@@ -1,0 +1,277 @@
+//! Trace-layer integration tests: determinism of the structured event
+//! stream, the exact per-node time-breakdown identity, the §3.2
+//! lock-locality invariant derived from the trace, and the Chrome export.
+
+use jsplit_dsm::ProtocolMode;
+use jsplit_mjvm::builder::ProgramBuilder;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_mjvm::instr::{Cmp, Ty};
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::{ClusterConfig, RunReport};
+use jsplit_trace::{chrome_trace, count_exported, validate_json, TraceEvent, TraceMode};
+
+fn traced(cfg: ClusterConfig, p: &Program) -> RunReport {
+    let r = run_cluster(cfg.with_trace(TraceMode::Full), p).expect("cluster setup");
+    r.expect_clean();
+    assert!(r.trace.is_some(), "tracing was enabled");
+    r
+}
+
+fn tsp_small() -> Program {
+    jsplit_apps::tsp::program(jsplit_apps::tsp::TspParams { n: 8, seed: 42, depth: 2, threads: 8 })
+}
+
+/// Producer/consumer over wait/notifyAll (same shape as the cluster tests).
+fn pingpong_program(rounds: i32) -> Program {
+    let mut pb = ProgramBuilder::new("M");
+    pb.class("Chan", "java.lang.Object", |cb| {
+        cb.default_ctor("java.lang.Object");
+        cb.field("value", Ty::I32).field("full", Ty::I32);
+        cb.synchronized_method("put", &[Ty::I32], None, |m| {
+            let top = m.new_label();
+            let go = m.new_label();
+            m.bind(top);
+            m.load(0).getfield("Chan", "full").if_i(Cmp::Eq, go);
+            m.load(0).invokevirtual("wait", &[], None);
+            m.goto(top);
+            m.bind(go);
+            m.load(0).load(1).putfield("Chan", "value");
+            m.load(0).const_i32(1).putfield("Chan", "full");
+            m.load(0).invokevirtual("notifyAll", &[], None);
+            m.ret();
+        });
+        cb.synchronized_method("take", &[], Some(Ty::I32), |m| {
+            let top = m.new_label();
+            let go = m.new_label();
+            m.bind(top);
+            m.load(0).getfield("Chan", "full").if_i(Cmp::Ne, go);
+            m.load(0).invokevirtual("wait", &[], None);
+            m.goto(top);
+            m.bind(go);
+            m.load(0).const_i32(0).putfield("Chan", "full");
+            m.load(0).invokevirtual("notifyAll", &[], None);
+            m.load(0).getfield("Chan", "value").ret_val();
+        });
+    });
+    pb.class("Producer", "java.lang.Thread", |cb| {
+        cb.field("chan", Ty::Ref).field("n", Ty::I32);
+        cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+            m.load(0).load(1).putfield("Producer", "chan");
+            m.load(0).load(2).putfield("Producer", "n").ret();
+        });
+        cb.method("run", &[], None, |m| {
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1);
+            m.bind(top);
+            m.load(1).load(0).getfield("Producer", "n").if_icmp(Cmp::Ge, end);
+            m.load(0).getfield("Producer", "chan").load(1).invokevirtual("put", &[Ty::I32], None);
+            m.iinc(1, 1).goto(top);
+            m.bind(end).ret();
+        });
+    });
+    pb.class("M", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            m.construct("Chan", &[], |_| {}).store(0);
+            m.construct("Producer", &[Ty::Ref, Ty::I32], |m| {
+                m.load(0).const_i32(rounds);
+            })
+            .invokevirtual("start", &[], None);
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1).const_i32(0).store(2);
+            m.bind(top);
+            m.load(2).const_i32(rounds).if_icmp(Cmp::Ge, end);
+            m.load(1).load(0).invokevirtual("take", &[], Some(Ty::I32)).iadd().store(1);
+            m.iinc(2, 1).goto(top);
+            m.bind(end).load(1).println_i32();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
+/// Same config + same seed ⇒ byte-identical event stream (and therefore a
+/// byte-identical Chrome export).
+#[test]
+fn same_seed_traces_are_identical() {
+    let p = tsp_small();
+    let cfg = || ClusterConfig::javasplit(JvmProfile::SunSim, 8);
+    let a = traced(cfg(), &p);
+    let b = traced(cfg(), &p);
+    let (ea, eb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert!(!ea.is_empty());
+    assert_eq!(ea.len(), eb.len());
+    assert_eq!(ea, eb, "same seed must produce an identical trace");
+    assert_eq!(chrome_trace(ea), chrome_trace(eb));
+    assert_eq!(a.breakdown.len(), b.breakdown.len());
+    for (x, y) in a.breakdown.iter().zip(&b.breakdown) {
+        assert_eq!(x.compute_ps, y.compute_ps);
+        assert_eq!(x.idle_ps, y.idle_ps);
+    }
+}
+
+/// Enabling the trace must not change the simulated execution at all.
+#[test]
+fn tracing_does_not_perturb_virtual_time() {
+    let p = tsp_small();
+    let plain = run_cluster(ClusterConfig::javasplit(JvmProfile::SunSim, 4), &p).unwrap();
+    let tr = traced(ClusterConfig::javasplit(JvmProfile::SunSim, 4), &p);
+    assert_eq!(plain.exec_time_ps, tr.exec_time_ps);
+    assert_eq!(plain.ops, tr.ops);
+    assert_eq!(plain.output, tr.output);
+    assert_eq!(plain.net_total(), tr.net_total());
+    assert!(plain.trace.is_none());
+    assert!(plain.breakdown.is_empty());
+}
+
+/// Per-node compute + lock-wait + fetch-stall + ack-wait + idle sums
+/// *exactly* to `exec_time_ps × cpus` — on every app, in both protocol
+/// modes, and in baseline mode.
+#[test]
+fn breakdown_identity_holds_everywhere() {
+    let apps: Vec<(&str, Program)> = vec![
+        ("tsp", tsp_small()),
+        (
+            "series",
+            jsplit_apps::series::program(jsplit_apps::series::SeriesParams {
+                n: 16,
+                intervals: 40,
+                threads: 8,
+            }),
+        ),
+        (
+            "raytracer",
+            jsplit_apps::raytracer::program(jsplit_apps::raytracer::RayParams {
+                size: 16,
+                grid: 2,
+                threads: 8,
+            }),
+        ),
+    ];
+    for (name, p) in &apps {
+        for proto in [ProtocolMode::MtsHlrc, ProtocolMode::ClassicHlrc] {
+            let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 4).with_protocol(proto);
+            let r = traced(cfg, p);
+            assert_eq!(r.breakdown.len(), 4);
+            for b in &r.breakdown {
+                assert!(
+                    b.checks_out(r.exec_time_ps),
+                    "{name}/{proto:?} node {}: {:?} must sum to {} x {}",
+                    b.node,
+                    b,
+                    r.exec_time_ps,
+                    b.cpus
+                );
+            }
+        }
+    }
+    // Baseline mode: no DSM, but slices/stalls still partition cpu-time.
+    let r = traced(ClusterConfig::baseline(JvmProfile::SunSim, 2), &apps[0].1);
+    for b in &r.breakdown {
+        assert!(b.checks_out(r.exec_time_ps), "baseline node {}: {:?}", b.node, b);
+    }
+}
+
+/// §3.2: wait/notify is completely local. On a single-node cluster every
+/// park is woken by a notify on the same node with zero DSM-protocol
+/// messages (lock, diff, fetch traffic) in between; on a multi-node
+/// cluster the wait queue travels with the lock, so every parked thread is
+/// eventually re-granted the lock (a LockAcquire by the same thread)
+/// without any dedicated wake-up message kind.
+#[test]
+fn lock_locality_invariant_from_trace() {
+    use jsplit_trace::NetKind;
+    let p = pingpong_program(6);
+    let protocol_send = |ev: &TraceEvent| {
+        matches!(
+            ev,
+            TraceEvent::NetSend { kind, .. } if !matches!(kind, NetKind::Spawn | NetKind::Control)
+        )
+    };
+
+    // Single node: wait → local notify with no protocol traffic between.
+    let r = traced(ClusterConfig::javasplit(JvmProfile::SunSim, 1), &p);
+    let evs = r.trace.as_ref().unwrap();
+    let mut parks = 0;
+    for (i, e) in evs.iter().enumerate() {
+        let TraceEvent::WaitPark { node, gid, .. } = e.ev else {
+            continue;
+        };
+        parks += 1;
+        let wake = evs[i + 1..]
+            .iter()
+            .position(|x| matches!(x.ev, TraceEvent::Notify { node: n, gid: g, .. } if n == node && g == gid))
+            .map(|j| i + 1 + j)
+            .unwrap_or_else(|| panic!("WaitPark at index {i} never notified"));
+        let net_between = evs[i + 1..wake].iter().filter(|x| protocol_send(&x.ev)).count();
+        assert_eq!(net_between, 0, "protocol messages inside a wait->local-notify window (park {i}, wake {wake})");
+    }
+    assert!(parks > 0, "pingpong must actually park");
+    assert!(r.dsm_total().waits > 0);
+
+    // Multi node: every parked thread re-acquires the lock eventually.
+    let r = traced(ClusterConfig::javasplit(JvmProfile::SunSim, 4), &p);
+    let evs = r.trace.as_ref().unwrap();
+    let mut parks = 0;
+    for (i, e) in evs.iter().enumerate() {
+        let TraceEvent::WaitPark { node, gid, thread } = e.ev else {
+            continue;
+        };
+        parks += 1;
+        assert!(
+            evs[i + 1..].iter().any(|x| matches!(
+                x.ev,
+                TraceEvent::LockAcquire { node: n, gid: g, thread: t } if n == node && g == gid && t == thread
+            )),
+            "parked thread {thread} (node {node}, gid {gid}) never re-acquired its lock"
+        );
+    }
+    assert!(parks > 0);
+}
+
+/// The Chrome export is valid JSON and its lock-grant flow events agree
+/// with the protocol's own transfer counter.
+#[test]
+fn chrome_export_is_valid_and_matches_stats() {
+    let r = traced(ClusterConfig::javasplit(JvmProfile::SunSim, 8), &tsp_small());
+    let evs = r.trace.as_ref().unwrap();
+    let json = chrome_trace(evs);
+    validate_json(&json).expect("chrome trace must be valid JSON");
+    let flows = count_exported(&json, 's', "lock-grant") as u64;
+    assert_eq!(flows, r.dsm_total().grants_sent, "one flow start per lock transfer");
+    // Process/thread metadata exists for every node.
+    assert!(count_exported(&json, 'M', "process_name") >= 8);
+    // Every virtual CPU slice became a duration event (exported as "run").
+    let slices = evs.iter().filter(|e| matches!(e.ev, TraceEvent::Slice { .. })).count();
+    assert_eq!(count_exported(&json, 'X', "run"), slices);
+}
+
+/// Ring mode keeps only the tail of the stream.
+#[test]
+fn ring_mode_bounds_the_stream() {
+    let p = tsp_small();
+    let full = run_cluster(
+        ClusterConfig::javasplit(JvmProfile::SunSim, 4).with_trace(TraceMode::Full),
+        &p,
+    )
+    .unwrap();
+    let ring = run_cluster(
+        ClusterConfig::javasplit(JvmProfile::SunSim, 4).with_trace(TraceMode::Ring(64)),
+        &p,
+    )
+    .unwrap();
+    let (f, g) = (full.trace.as_ref().unwrap(), ring.trace.as_ref().unwrap());
+    assert!(f.len() > 64);
+    assert_eq!(g.len(), 64);
+    // The ring holds the *last* 64 events (order may differ only by the
+    // final sort, so compare as multisets of the tail).
+    let mut tail: Vec<_> = f[f.len() - 64..].to_vec();
+    let mut got = g.clone();
+    let key = |e: &jsplit_trace::Event| (e.t, format!("{:?}", e.ev));
+    tail.sort_by_key(key);
+    got.sort_by_key(key);
+    assert_eq!(tail, got);
+}

@@ -1,0 +1,208 @@
+//! The structured event vocabulary of the trace layer.
+//!
+//! Every event is stamped with **virtual picoseconds** by the runtime's
+//! recorder; the layers that produce events (scheduler, DSM engine, network)
+//! stay clock-free. Identifiers are plain integers (`u16` node ids, `u32`
+//! thread uids, `u64` global object ids) so this crate sits below every
+//! other workspace crate and all of them can emit events without a
+//! dependency cycle.
+
+/// Virtual time in picoseconds.
+pub type Ps = u64;
+/// Worker-node identifier (mirrors `jsplit_net::NodeId`).
+pub type NodeId = u16;
+/// Green-thread identifier (mirrors `jsplit_mjvm::heap::ThreadUid`).
+pub type ThreadUid = u32;
+
+/// Recorder selection, carried by `ClusterConfig::with_trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Keep every event (required for breakdowns and exports).
+    Full,
+    /// Keep only the most recent N events (bounded memory for long runs;
+    /// derived metrics over a ring are necessarily partial).
+    Ring(usize),
+}
+
+/// Why a thread left the CPU with `StepState::Blocked`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Queued on a monitor (local or remote acquire in flight).
+    Lock,
+    /// Waiting for an object fetch from its home.
+    Fetch,
+    /// Parked in `Object.wait()`.
+    Wait,
+    /// `Thread.sleep()`.
+    Sleep,
+    /// Unattributed (baseline-mode monitors).
+    Other,
+}
+
+impl BlockReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockReason::Lock => "lock-wait",
+            BlockReason::Fetch => "fetch-stall",
+            BlockReason::Wait => "wait",
+            BlockReason::Sleep => "sleep",
+            BlockReason::Other => "blocked",
+        }
+    }
+}
+
+/// Protocol message categories (mirrors `jsplit_net::MsgKind`; the network
+/// crate converts when recording so this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    LockReq,
+    LockGrant,
+    Diff,
+    DiffAck,
+    Fetch,
+    ObjState,
+    Spawn,
+    Control,
+}
+
+impl NetKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            NetKind::LockReq => "lock_req",
+            NetKind::LockGrant => "lock_grant",
+            NetKind::Diff => "diff",
+            NetKind::DiffAck => "diff_ack",
+            NetKind::Fetch => "fetch",
+            NetKind::ObjState => "obj_state",
+            NetKind::Spawn => "spawn",
+            NetKind::Control => "control",
+        }
+    }
+}
+
+/// One structured trace event (unstamped payload).
+///
+/// Three producers: the **scheduler** (thread lifecycle + CPU slices), the
+/// **DSM engine** (locks, diffs, fetches, invalidations, wait/notify) and
+/// the **network** (sends with kind, size and computed delivery time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    // ---- scheduler (runtime/exec.rs) ----
+    /// A thread was created on `node` (main, or a shipped spawn installed).
+    ThreadSpawn { node: NodeId, thread: ThreadUid },
+    /// A `Thread.start()` was shipped from `from` to the chosen `to` node;
+    /// `thread_gid` is the Thread object's global id (the uid is assigned on
+    /// installation at `to`).
+    ThreadShip { from: NodeId, to: NodeId, thread_gid: u64 },
+    /// A blocked/sleeping thread became runnable again.
+    ThreadReady { node: NodeId, thread: ThreadUid },
+    /// A CPU slice: `thread` ran on `cpu` from the stamp time until `end`,
+    /// retiring `ops` instructions.
+    Slice { node: NodeId, cpu: u32, thread: ThreadUid, end: Ps, ops: u64 },
+    /// The slice ended with the thread blocked, for `reason`.
+    ThreadBlock { node: NodeId, thread: ThreadUid, reason: BlockReason },
+    /// The thread's root frame returned (or it trapped).
+    ThreadExit { node: NodeId, thread: ThreadUid },
+
+    // ---- DSM engine (dsm/node.rs) ----
+    /// A thread queued for a lock it could not immediately enter (local
+    /// queue insert or remote LockReq sent).
+    LockRequest { node: NodeId, gid: u64, thread: ThreadUid },
+    /// A thread entered a contended/shared monitor (including grant
+    /// retries). Uncontended fast-path acquires are not traced.
+    LockAcquire { node: NodeId, gid: u64, thread: ThreadUid },
+    /// Lock ownership (queues + notices) transferred `node` → `to_node` for
+    /// `to_thread` — the flow edge of §3.2.
+    LockGrant { node: NodeId, gid: u64, to_node: NodeId, to_thread: ThreadUid },
+    /// Uncontended ownership voluntarily handed back to the home.
+    LockHomeRelease { node: NodeId, gid: u64 },
+    /// A diff of `entries` changed fields flushed to the CU's home.
+    DiffFlush { node: NodeId, gid: u64, entries: u32 },
+    /// Home acknowledgement received (scalar-timestamp mode).
+    DiffAck { node: NodeId, gid: u64, version: u32 },
+    /// A lock transfer/home-release is now deferred behind outstanding diff
+    /// acks (§3.1's scalar-timestamp cost window opens).
+    AckWaitBegin { node: NodeId },
+    /// All deferred transfers were released (the window closes).
+    AckWaitEnd { node: NodeId },
+    /// An access miss sent a Fetch to the CU's home.
+    FetchRequest { node: NodeId, gid: u64, thread: ThreadUid },
+    /// The ObjState reply was installed, waking `woken` threads.
+    FetchDone { node: NodeId, gid: u64, woken: u32 },
+    /// A write notice invalidated the local cached copy of `gid`.
+    Invalidate { node: NodeId, gid: u64 },
+    /// A thread parked in `Object.wait()` on `gid`'s wait queue.
+    WaitPark { node: NodeId, gid: u64, thread: ThreadUid },
+    /// `Object.notify()`/`notifyAll()` — local to the owner (§3.2).
+    Notify { node: NodeId, gid: u64, thread: ThreadUid, all: bool },
+    /// A local object was promoted into the DSM (assigned `gid`).
+    Promote { node: NodeId, gid: u64 },
+
+    // ---- network (net/sim.rs) ----
+    /// A message entered the wire at the stamp time and will be delivered
+    /// at `deliver` (FIFO per link). Loopback self-sends are recorded too.
+    NetSend { src: NodeId, dst: NodeId, kind: NetKind, bytes: u32, deliver: Ps },
+}
+
+impl TraceEvent {
+    /// The node this event is accounted to (send events: the sender).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TraceEvent::ThreadSpawn { node, .. }
+            | TraceEvent::ThreadReady { node, .. }
+            | TraceEvent::Slice { node, .. }
+            | TraceEvent::ThreadBlock { node, .. }
+            | TraceEvent::ThreadExit { node, .. }
+            | TraceEvent::LockRequest { node, .. }
+            | TraceEvent::LockAcquire { node, .. }
+            | TraceEvent::LockGrant { node, .. }
+            | TraceEvent::LockHomeRelease { node, .. }
+            | TraceEvent::DiffFlush { node, .. }
+            | TraceEvent::DiffAck { node, .. }
+            | TraceEvent::AckWaitBegin { node }
+            | TraceEvent::AckWaitEnd { node }
+            | TraceEvent::FetchRequest { node, .. }
+            | TraceEvent::FetchDone { node, .. }
+            | TraceEvent::Invalidate { node, .. }
+            | TraceEvent::WaitPark { node, .. }
+            | TraceEvent::Notify { node, .. }
+            | TraceEvent::Promote { node, .. } => node,
+            TraceEvent::ThreadShip { from, .. } => from,
+            TraceEvent::NetSend { src, .. } => src,
+        }
+    }
+
+    /// Is this a network event? (Used by the lock-locality assertions.)
+    pub fn is_net(&self) -> bool {
+        matches!(self, TraceEvent::NetSend { .. })
+    }
+}
+
+/// A stamped event: virtual time plus payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual picoseconds (same clock as `RunReport::exec_time_ps`).
+    pub t: Ps,
+    pub ev: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_attribution_covers_all_variants() {
+        let e = TraceEvent::NetSend { src: 3, dst: 1, kind: NetKind::Diff, bytes: 10, deliver: 5 };
+        assert_eq!(e.node(), 3);
+        assert!(e.is_net());
+        let e = TraceEvent::ThreadShip { from: 2, to: 0, thread_gid: 7 };
+        assert_eq!(e.node(), 2);
+        assert!(!e.is_net());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(BlockReason::Fetch.name(), "fetch-stall");
+        assert_eq!(NetKind::ObjState.name(), "obj_state");
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal JSON well-formedness checker (no external crates allowed in the
+//! workspace, and the exporter's output must be machine-verifiable in tests
+//! and in the `repro trace` smoke step). Validates syntax per RFC 8259; it
+//! does not build a DOM.
+
+/// Validate that `s` is exactly one well-formed JSON value.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {}", pos));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("bad literal at byte {}", pos))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", pos));
+        }
+        pos = skip_ws(b, string(b, pos)?);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", pos));
+        }
+        pos = skip_ws(b, value(b, skip_ws(b, pos + 1))?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {}", pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, value(b, pos)?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {}", pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    if b.len() >= pos + 6 && b[pos + 2..pos + 6].iter().all(u8::is_ascii_hexdigit) {
+                        pos += 6;
+                    } else {
+                        return Err(format!("bad \\u escape at byte {}", pos));
+                    }
+                }
+                _ => return Err(format!("bad escape at byte {}", pos)),
+            },
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {}", pos)),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while pos < b.len() && b[pos].is_ascii_digit() {
+                pos += 1;
+            }
+        }
+        _ => return Err(format!("bad number at byte {}", start)),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad fraction at byte {}", pos));
+        }
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad exponent at byte {}", pos));
+        }
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            "\"a\\nb\\u00ff\"",
+            "{\"a\": [1, 2.5, {\"b\": true}], \"c\": null}",
+            " { \"traceEvents\" : [ { \"ph\" : \"X\" } ] } ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{:?} rejected: {}", ok, e));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{'a': 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{} {}",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "{:?} wrongly accepted", bad);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-lock contention statistics derived from the event stream.
+//!
+//! Pairs each `LockRequest` with the matching `LockAcquire` by
+//! `(gid, node, thread)` to measure queue-travel latency, tracks the
+//! running number of pending requesters per lock for queue depth, and
+//! counts `LockGrant` edges as inter-node transfers (§3.2 queue passing).
+
+use crate::event::{Event, Ps, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Contention profile of one DSM lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStat {
+    /// Global id of the locked object.
+    pub gid: u64,
+    /// Contended/shared monitor entries (fast-path local re-entries are not
+    /// traced and not counted).
+    pub acquires: u64,
+    /// Inter-node ownership transfers (grant messages).
+    pub transfers: u64,
+    /// Peak number of simultaneously queued requesters.
+    pub max_queue: u32,
+    /// Sum of request→acquire latencies.
+    pub total_wait_ps: u64,
+    /// Worst single request→acquire latency.
+    pub max_wait_ps: u64,
+}
+
+impl LockStat {
+    /// Mean request→acquire latency in picoseconds (0 if never measured).
+    pub fn mean_wait_ps(&self) -> u64 {
+        if self.acquires == 0 {
+            0
+        } else {
+            self.total_wait_ps / self.acquires
+        }
+    }
+}
+
+/// Derive per-lock stats, sorted by gid. Requires a full stream for exact
+/// numbers; over a truncated ring the pairings are best-effort.
+pub fn lock_contention(events: &[Event]) -> Vec<LockStat> {
+    let mut stats: BTreeMap<u64, LockStat> = BTreeMap::new();
+    let mut pending: BTreeMap<(u64, u16, u32), Ps> = BTreeMap::new();
+    let mut depth: BTreeMap<u64, u32> = BTreeMap::new();
+
+    for e in events {
+        match e.ev {
+            TraceEvent::LockRequest { node, gid, thread } => {
+                if pending.insert((gid, node, thread), e.t).is_none() {
+                    let d = depth.entry(gid).or_insert(0);
+                    *d += 1;
+                    let s = stats.entry(gid).or_default();
+                    s.gid = gid;
+                    s.max_queue = s.max_queue.max(*d);
+                }
+            }
+            TraceEvent::LockAcquire { node, gid, thread } => {
+                let s = stats.entry(gid).or_default();
+                s.gid = gid;
+                s.acquires += 1;
+                if let Some(t0) = pending.remove(&(gid, node, thread)) {
+                    if let Some(d) = depth.get_mut(&gid) {
+                        *d = d.saturating_sub(1);
+                    }
+                    let wait = e.t - t0;
+                    s.total_wait_ps += wait;
+                    s.max_wait_ps = s.max_wait_ps.max(wait);
+                }
+            }
+            TraceEvent::LockGrant { gid, .. } => {
+                let s = stats.entry(gid).or_default();
+                s.gid = gid;
+                s.transfers += 1;
+            }
+            _ => {}
+        }
+    }
+    stats.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Ps, ev: TraceEvent) -> Event {
+        Event { t, ev }
+    }
+
+    #[test]
+    fn request_acquire_pairing_measures_wait() {
+        let events = [
+            ev(10, TraceEvent::LockRequest { node: 0, gid: 7, thread: 1 }),
+            ev(15, TraceEvent::LockRequest { node: 1, gid: 7, thread: 2 }),
+            ev(20, TraceEvent::LockAcquire { node: 0, gid: 7, thread: 1 }),
+            ev(25, TraceEvent::LockGrant { node: 0, gid: 7, to_node: 1, to_thread: 2 }),
+            ev(40, TraceEvent::LockAcquire { node: 1, gid: 7, thread: 2 }),
+        ];
+        let stats = lock_contention(&events);
+        assert_eq!(stats.len(), 1);
+        let s = stats[0];
+        assert_eq!(s.gid, 7);
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.max_queue, 2);
+        assert_eq!(s.total_wait_ps, 10 + 25);
+        assert_eq!(s.max_wait_ps, 25);
+        assert_eq!(s.mean_wait_ps(), 17);
+    }
+
+    #[test]
+    fn independent_locks_sorted_by_gid() {
+        let events = [
+            ev(0, TraceEvent::LockGrant { node: 0, gid: 9, to_node: 1, to_thread: 1 }),
+            ev(0, TraceEvent::LockGrant { node: 0, gid: 3, to_node: 1, to_thread: 1 }),
+        ];
+        let stats = lock_contention(&events);
+        assert_eq!(stats.iter().map(|s| s.gid).collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    fn acquire_without_request_counts_but_adds_no_wait() {
+        let events = [ev(5, TraceEvent::LockAcquire { node: 0, gid: 1, thread: 1 })];
+        let s = lock_contention(&events)[0];
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.total_wait_ps, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Recorder backends.
+//!
+//! The runtime owns exactly one `Box<dyn TraceSink>` per cluster (or none:
+//! the disabled path is a single `Option` check per emission site, so a run
+//! without tracing does no allocation and no event construction).
+
+use crate::event::{Event, TraceMode};
+
+/// Destination for stamped events. Recording order is the deterministic
+/// simulator order, so two same-seed runs feed any sink identically.
+pub trait TraceSink {
+    fn record(&mut self, e: Event);
+    /// Number of events currently retained.
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Consume the sink and return the retained events in recording order.
+    fn into_events(self: Box<Self>) -> Vec<Event>;
+}
+
+/// Unbounded recorder: keeps the full stream.
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    events: Vec<Event>,
+}
+
+impl VecRecorder {
+    pub fn new() -> Self {
+        VecRecorder { events: Vec::new() }
+    }
+}
+
+impl TraceSink for VecRecorder {
+    fn record(&mut self, e: Event) {
+        self.events.push(e);
+    }
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+    fn into_events(self: Box<Self>) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// Bounded recorder: keeps only the most recent `cap` events.
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: Vec<Event>,
+    head: usize,
+    cap: usize,
+}
+
+impl RingRecorder {
+    pub fn new(cap: usize) -> Self {
+        RingRecorder { buf: Vec::with_capacity(cap.min(4096)), head: 0, cap: cap.max(1) }
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, e: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    fn into_events(self: Box<Self>) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Build the sink selected by a `TraceMode`.
+pub fn make_sink(mode: TraceMode) -> Box<dyn TraceSink> {
+    match mode {
+        TraceMode::Full => Box::new(VecRecorder::new()),
+        TraceMode::Ring(cap) => Box::new(RingRecorder::new(cap)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(t: u64) -> Event {
+        Event { t, ev: TraceEvent::ThreadReady { node: 0, thread: t as u32 } }
+    }
+
+    #[test]
+    fn vec_recorder_keeps_everything_in_order() {
+        let mut s: Box<dyn TraceSink> = Box::new(VecRecorder::new());
+        for t in 0..100 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 100);
+        let out = s.into_events();
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn ring_recorder_keeps_last_cap_in_order() {
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(16));
+        for t in 0..100 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 16);
+        let out = s.into_events();
+        assert_eq!(out.first().unwrap().t, 84);
+        assert_eq!(out.last().unwrap().t, 99);
+        assert!(out.windows(2).all(|w| w[0].t + 1 == w[1].t));
+    }
+
+    #[test]
+    fn ring_recorder_under_capacity() {
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(16));
+        for t in 0..5 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.into_events().len(), 5);
+    }
+
+    #[test]
+    fn make_sink_honours_mode() {
+        let mut s = make_sink(TraceMode::Ring(2));
+        for t in 0..10 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(make_sink(TraceMode::Full).len(), 0);
+    }
+}
