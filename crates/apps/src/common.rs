@@ -66,13 +66,10 @@ pub fn thread_ctor(cb: &mut jsplit_mjvm::builder::ClassBuilder, class: &str, fie
     let params: Vec<Ty> = fields.iter().map(|(_, t)| *t).collect();
     cb.method("<init>", &params, None, move |m| {
         m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
-        let mut slot = 1u16;
-        for (name, ty) in &fields {
-            m.load(0).load(slot).putfield(&class, name);
-            slot += match ty {
-                // MJVM locals are one slot per value regardless of width.
-                _ => 1,
-            };
+        // MJVM locals are one slot per value regardless of width, so the
+        // constructor argument for field k sits in local slot k+1.
+        for (slot, (name, _)) in fields.iter().enumerate() {
+            m.load(0).load(slot as u16 + 1).putfield(&class, name);
         }
         m.ret();
     });

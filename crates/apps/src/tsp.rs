@@ -57,6 +57,8 @@ pub fn reference_matrix(p: &TspParams) -> Vec<Vec<i32>> {
         (((seed / 8589934592) as i32).wrapping_abs()) % bound
     };
     let mut d = vec![vec![0i32; n]; n];
+    // Index loops: each draw lands in both triangles (d[i][j] and d[j][i]).
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {
             let v = next_int(99) + 1;
@@ -368,14 +370,15 @@ mod tests {
     fn reference_matrix_is_symmetric_and_bounded() {
         let d = reference_matrix(&TspParams::default());
         let n = d.len();
-        for i in 0..n {
-            assert_eq!(d[i][i], 0);
-            for j in 0..n {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, d[j][i]);
                 if i != j {
-                    assert!((1..=99).contains(&d[i][j]), "d[{i}][{j}]={}", d[i][j]);
+                    assert!((1..=99).contains(&v), "d[{i}][{j}]={v}");
                 }
             }
         }
+        assert_eq!(n, TspParams::default().n as usize);
     }
 }

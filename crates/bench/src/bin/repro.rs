@@ -9,9 +9,11 @@
 //! Sections: `table1`, `table2`, `table3`, `table4`, `ablation`, `mixed`
 //! (the §6 heterogeneous-cluster and mid-run-join demonstrations), `all`.
 //!
-//! `repro perf [--smoke]` is separate from `all`: it measures *host*
-//! wall-clock and ops/sec (nondeterministic) and writes `BENCH_PERF.json`
-//! at the repo root.
+//! `repro perf [--smoke] [--backend sim|threads]` is separate from `all`:
+//! it measures *host* wall-clock and ops/sec (nondeterministic) and writes
+//! `BENCH_PERF.json` at the repo root — or, with `--backend threads`,
+//! real-parallel-execution numbers (one OS thread per node) plus the
+//! 8-vs-1-node TSP speedup to `BENCH_LIVE.json`.
 //!
 //! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
@@ -20,7 +22,7 @@
 use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{ClusterConfig, NodeSpec};
+use jsplit_runtime::{Backend, ClusterConfig, NodeSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,11 +34,33 @@ fn main() {
         // Host-performance harness: nondeterministic wall-clock numbers, so
         // never part of `all` (whose output doubles as a determinism
         // reference).
-        let pts = perf::run(smoke);
+        let backend = match args.iter().position(|a| a == "--backend") {
+            None => Backend::Sim,
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("sim") => Backend::Sim,
+                Some("threads") => Backend::Threads,
+                other => {
+                    eprintln!("repro perf: unknown --backend {other:?} (want sim|threads)");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let pts = perf::run(smoke, backend);
         print!("{}", perf::render(&pts));
-        match perf::write_json(&pts, smoke) {
+        let speedup = (backend == Backend::Threads).then(|| {
+            let wall_8 = pts[0].wall_secs; // tsp is workload 0
+            let sp = perf::live_speedup(smoke, wall_8);
+            println!(
+                "tsp live speedup: 1 node {:.3}s / 8 nodes {:.3}s = {:.2}x",
+                sp.wall_1node_secs,
+                sp.wall_8node_secs,
+                sp.speedup()
+            );
+            sp
+        });
+        match perf::write_json(&pts, smoke, backend, speedup.as_ref()) {
             Ok(path) => println!("\nwrote {}", path.display()),
-            Err(e) => eprintln!("\nfailed to write BENCH_PERF.json: {e}"),
+            Err(e) => eprintln!("\nfailed to write perf json: {e}"),
         }
         return;
     }

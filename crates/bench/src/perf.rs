@@ -1,11 +1,14 @@
-//! Host wall-clock performance harness (`repro perf`).
+//! Host wall-clock performance harness (`repro perf [--backend threads]`).
 //!
 //! Every paper table reports *virtual* time, which is deterministic and
 //! identical on any machine. This module instead measures how fast the
-//! simulator itself runs: host wall-clock and interpreted-instructions per
-//! second over fixed-seed workloads (TSP, Series, 3D Ray Tracer on an
-//! 8-node SunSim cluster). Results are printed and written to
-//! `BENCH_PERF.json` at the repo root so successive commits can be compared.
+//! *host* runs: host wall-clock and interpreted-instructions per second
+//! over fixed-seed workloads (TSP, Series, 3D Ray Tracer on an 8-node
+//! SunSim cluster). With the default sim backend that is simulator
+//! throughput, written to `BENCH_PERF.json`; with `--backend threads` each
+//! node runs on its own OS thread and the numbers are real parallel
+//! execution, written to `BENCH_LIVE.json` — including the 8-node vs 1-node
+//! TSP speedup, the live analogue of the paper's Figure 3.
 //!
 //! Deliberately *not* part of `repro all`: wall-clock numbers are
 //! host-dependent and nondeterministic, and `repro all` output is used as a
@@ -18,7 +21,7 @@ use std::time::Instant;
 use crate::measure::{render_table, run_clean};
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
-use jsplit_runtime::ClusterConfig;
+use jsplit_runtime::{Backend, ClusterConfig};
 
 /// One measured workload.
 pub struct PerfPoint {
@@ -58,12 +61,14 @@ fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
     }
 }
 
-/// Run all workloads on the fixed cluster configuration.
-pub fn run(smoke: bool) -> Vec<PerfPoint> {
+/// Run all workloads on the fixed cluster configuration with the given
+/// execution backend.
+pub fn run(smoke: bool, backend: Backend) -> Vec<PerfPoint> {
     let mut out = Vec::new();
     for (app, p) in workloads(smoke) {
         let t0 = Instant::now();
-        let r = run_clean(ClusterConfig::javasplit(JvmProfile::SunSim, NODES), &p);
+        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES).with_backend(backend);
+        let r = run_clean(cfg, &p);
         let wall = t0.elapsed().as_secs_f64();
         out.push(PerfPoint {
             app,
@@ -76,6 +81,28 @@ pub fn run(smoke: bool) -> Vec<PerfPoint> {
         });
     }
     out
+}
+
+/// 8-node vs 1-node wall-clock on the TSP workload — only meaningful for
+/// the threads backend, where nodes execute on real OS threads in parallel.
+pub struct LiveSpeedup {
+    pub wall_1node_secs: f64,
+    pub wall_8node_secs: f64,
+}
+
+impl LiveSpeedup {
+    pub fn speedup(&self) -> f64 {
+        self.wall_1node_secs / self.wall_8node_secs.max(1e-9)
+    }
+}
+
+/// Measure the live 8-vs-1-node TSP speedup on the threads backend.
+pub fn live_speedup(smoke: bool, wall_8node_secs: f64) -> LiveSpeedup {
+    let (_, p) = workloads(smoke).swap_remove(0); // tsp
+    let t0 = Instant::now();
+    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1).with_backend(Backend::Threads);
+    run_clean(cfg, &p);
+    LiveSpeedup { wall_1node_secs: t0.elapsed().as_secs_f64(), wall_8node_secs }
 }
 
 pub fn render(pts: &[PerfPoint]) -> String {
@@ -100,14 +127,30 @@ pub fn render(pts: &[PerfPoint]) -> String {
     )
 }
 
-/// Serialize to the `BENCH_PERF.json` schema (hand-rolled: every field is a
-/// number or plain string, no escaping needed).
-pub fn to_json(pts: &[PerfPoint], smoke: bool) -> String {
+/// Serialize to the `BENCH_PERF.json` / `BENCH_LIVE.json` schema
+/// (hand-rolled: every field is a number or plain string, no escaping
+/// needed).
+pub fn to_json(pts: &[PerfPoint], smoke: bool, backend: Backend, speedup: Option<&LiveSpeedup>) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!(
+        "  \"backend\": \"{}\",\n",
+        match backend {
+            Backend::Sim => "sim",
+            Backend::Threads => "threads",
+        }
+    ));
+    s.push_str(&format!(
         "  \"config\": \"javasplit {NODES} nodes, SunSim profile, 16 app threads\",\n"
     ));
+    if let Some(sp) = speedup {
+        s.push_str(&format!(
+            "  \"tsp_speedup\": {{\"wall_1node_secs\": {:.6}, \"wall_8node_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            sp.wall_1node_secs,
+            sp.wall_8node_secs,
+            sp.speedup(),
+        ));
+    }
     s.push_str("  \"results\": [\n");
     for (i, p) in pts.iter().enumerate() {
         s.push_str(&format!(
@@ -127,11 +170,21 @@ pub fn to_json(pts: &[PerfPoint], smoke: bool) -> String {
     s
 }
 
-/// Write `BENCH_PERF.json` at the repo root; returns the path written.
-pub fn write_json(pts: &[PerfPoint], smoke: bool) -> std::io::Result<PathBuf> {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PERF.json");
+/// Write `BENCH_PERF.json` (sim) or `BENCH_LIVE.json` (threads) at the
+/// repo root; returns the path written.
+pub fn write_json(
+    pts: &[PerfPoint],
+    smoke: bool,
+    backend: Backend,
+    speedup: Option<&LiveSpeedup>,
+) -> std::io::Result<PathBuf> {
+    let file = match backend {
+        Backend::Sim => "BENCH_PERF.json",
+        Backend::Threads => "BENCH_LIVE.json",
+    };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(to_json(pts, smoke).as_bytes())?;
+    f.write_all(to_json(pts, smoke, backend, speedup).as_bytes())?;
     Ok(path.canonicalize().unwrap_or(path))
 }
 
@@ -150,8 +203,11 @@ mod tests {
             msgs_sent: 12,
             event_slab_high_water: 9,
         }];
-        let j = to_json(&pts, true);
+        let sp = LiveSpeedup { wall_1node_secs: 4.0, wall_8node_secs: 1.0 };
+        let j = to_json(&pts, true, Backend::Threads, Some(&sp));
         assert!(j.contains("\"smoke\": true"));
+        assert!(j.contains("\"backend\": \"threads\""));
+        assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"app\": \"tsp\""));
         assert!(j.contains("\"event_slab_high_water\": 9"));
         // Balanced braces/brackets — cheap well-formedness check without a

@@ -504,6 +504,7 @@ impl DsmNode {
     }
 
     /// Back-compat entry for whole-object installs.
+    #[allow(clippy::too_many_arguments)]
     pub fn install_state(
         &mut self,
         heap: &mut Heap,
@@ -593,9 +594,8 @@ impl DsmNode {
                     // Twin only the touched region, keyed by the region gid:
                     // first write to a chunked array costs O(chunk), not
                     // O(array length).
-                    if !self.twins.contains_key(&cu) {
-                        let window = clone_window(&heap.get(obj).payload, lo, hi);
-                        self.twins.insert(cu, window);
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.twins.entry(cu) {
+                        e.insert(clone_window(&heap.get(obj).payload, lo, hi));
                         heap.get_mut(obj).dsm.twinned = true;
                     }
                     self.dirty.insert(cu);
@@ -685,12 +685,11 @@ impl DsmNode {
 
         let gid = heap.get(obj).dsm.gid.expect("shared by now");
         let home_here = gid.home() == self.id;
-        let ls = self.locks.entry(gid).or_insert_with(|| {
-            let mut l = LockState::default();
-            // The home owns every lock initially.
-            l.owned = home_here;
-            l
-        });
+        // The home owns every lock initially.
+        let ls = self
+            .locks
+            .entry(gid)
+            .or_insert_with(|| LockState { owned: home_here, ..LockState::default() });
         if ls.owned {
             if let Some((t, c)) = ls.granted_to {
                 if t == thread {
@@ -1161,11 +1160,10 @@ impl DsmNode {
             }
         }
         let home_here = lock.home() == self.id;
-        let ls = self.locks.entry(lock).or_insert_with(|| {
-            let mut l = LockState::default();
-            l.owned = home_here;
-            l
-        });
+        let ls = self
+            .locks
+            .entry(lock)
+            .or_insert_with(|| LockState { owned: home_here, ..LockState::default() });
         if ls.owned {
             ls.request_q.push(req);
             self.try_grant(heap, lock);
@@ -1272,6 +1270,7 @@ impl DsmNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_diff(
         &mut self,
         heap: &mut Heap,
@@ -1847,10 +1846,9 @@ mod tests {
                 p.set_field(0, o, 0, round * 10 + i as i32);
             }
             // Node 1 requests, node 0 releases -> transfer.
-            while p.nodes[1].monitor_enter(&mut p.heaps[1], 9, 5, lock1) == LockOutcome::Blocked {
+            if p.nodes[1].monitor_enter(&mut p.heaps[1], 9, 5, lock1) == LockOutcome::Blocked {
                 p.nodes[0].monitor_exit(&mut p.heaps[0], 0, lock0).ok();
                 p.pump();
-                break;
             }
             p.pump();
             // Node 1 releases immediately so the next round can reacquire.

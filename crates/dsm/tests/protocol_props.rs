@@ -8,9 +8,17 @@
 //!    after a writer released it sees the writer's value (LRC);
 //! 4. **boundedness** — under MTS, stored notices never exceed the number
 //!    of shared coherency units.
+//!
+//! Plus per-variant **codec round-trip** properties: every [`Msg`] variant
+//! — including chunked-array `ObjState` replies and the classic-mode
+//! vector-clock fields — survives encode→decode unchanged. The threads
+//! execution backend ships every message as real codec bytes, so these are
+//! load-bearing for cross-backend equivalence, not just wire hygiene.
 
 use jsplit_dsm::node::{AccessOutcome, DsmConfig, DsmNode, LockOutcome, ProtocolMode};
-use jsplit_dsm::Msg;
+use jsplit_dsm::protocol::{Requirement, WVal};
+use jsplit_dsm::{LockRequest, Msg, WaitEntry, WireState};
+use jsplit_mjvm::heap::Gid;
 use jsplit_mjvm::builder::ProgramBuilder;
 use jsplit_mjvm::heap::{Heap, ObjRef, ThreadUid};
 use jsplit_mjvm::loader::Image;
@@ -144,8 +152,8 @@ proptest! {
         // priority. A blocked actor executes nothing until woken.
         let sched: Vec<usize> = order.iter().map(|(a, _)| *a).collect();
         let mut pc = [0usize; 4];
-        let scripts: Vec<Vec<Step>> = (0..4)
-            .map(|a| vec![Step::Acquire, Step::Write(a as i32 * 100 + 7), Step::Release])
+        let scripts: Vec<Vec<Step>> = (0..4i32)
+            .map(|a| vec![Step::Acquire, Step::Write(a * 100 + 7), Step::Release])
             .collect();
         let mut blocked = [false; 4];
         let mut current_holder: Option<usize> = None;
@@ -221,11 +229,8 @@ proptest! {
         // lock sees the LAST writer's value at the home.
         p.pump();
         // Reader = thread 9 at node 0 (home): acquire, then read master.
-        loop {
-            match p.nodes[0].monitor_enter(&mut p.heaps[0], 9, 5, master) {
-                LockOutcome::Blocked => p.pump(),
-                _ => break,
-            }
+        while let LockOutcome::Blocked = p.nodes[0].monitor_enter(&mut p.heaps[0], 9, 5, master) {
+            p.pump();
         }
         // The critical sections were serialized, so the master must hold
         // SOME actor's value (v = a*100+7) — and after the reader's acquire
@@ -246,4 +251,173 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trip properties, one per Msg variant.
+// ---------------------------------------------------------------------------
+
+use proptest::collection::vec as pvec;
+
+fn arb_gid() -> impl Strategy<Value = Gid> {
+    any::<u64>().prop_map(Gid)
+}
+
+/// Doubles whose `PartialEq` survives a bit-exact round trip (NaN compares
+/// unequal to itself, so it would fail the equality assert even though the
+/// codec preserves its bits).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits).prop_filter("NaN breaks PartialEq", |f| !f.is_nan())
+}
+
+fn arb_vc() -> impl Strategy<Value = Vec<u32>> {
+    pvec(any::<u32>(), 0..5)
+}
+
+fn arb_requirement() -> impl Strategy<Value = Requirement> {
+    (any::<u32>(), pvec((any::<u16>(), any::<u32>()), 0..4))
+        .prop_map(|(scalar, vector)| Requirement { scalar, vector: vector.into_iter().collect() })
+}
+
+fn arb_wval() -> impl Strategy<Value = WVal> {
+    prop_oneof![
+        any::<i32>().prop_map(WVal::I32),
+        any::<i64>().prop_map(WVal::I64),
+        arb_f64().prop_map(WVal::F64),
+        (arb_gid(), any::<u32>()).prop_map(|(g, c)| WVal::Ref(g, c)),
+        ".{0,12}".prop_map(WVal::Str),
+        Just(WVal::Null),
+    ]
+}
+
+fn arb_wire_state() -> impl Strategy<Value = WireState> {
+    prop_oneof![
+        pvec(arb_wval(), 0..6).prop_map(WireState::Fields),
+        pvec(any::<i32>(), 0..8).prop_map(WireState::ArrI32),
+        pvec(any::<i64>(), 0..8).prop_map(WireState::ArrI64),
+        pvec(arb_f64(), 0..8).prop_map(WireState::ArrF64),
+        pvec(arb_wval(), 0..6).prop_map(WireState::ArrRef),
+        ".{0,16}".prop_map(WireState::Str),
+    ]
+}
+
+fn arb_lock_request() -> impl Strategy<Value = LockRequest> {
+    ((any::<u16>(), any::<u32>(), any::<i32>()), (any::<bool>(), any::<u32>(), arb_vc())).prop_map(
+        |((node, thread, priority), (resume_wait, saved_count, vc))| LockRequest {
+            node,
+            thread,
+            priority,
+            resume_wait,
+            saved_count,
+            vc,
+        },
+    )
+}
+
+fn arb_wait_entry() -> impl Strategy<Value = WaitEntry> {
+    (any::<u16>(), any::<u32>(), any::<i32>(), any::<u32>())
+        .prop_map(|(node, thread, priority, saved_count)| WaitEntry { node, thread, priority, saved_count })
+}
+
+// Classic mode carries vector clocks in LockReq/LockGrant; MTS sends them
+// empty — arb_vc covers both.
+fn arb_lock_req() -> impl Strategy<Value = Msg> {
+    (arb_gid(), any::<u16>(), any::<u32>(), any::<i32>(), arb_vc())
+        .prop_map(|(lock, node, thread, priority, vc)| Msg::LockReq { lock, node, thread, priority, vc })
+}
+
+fn arb_lock_grant() -> impl Strategy<Value = Msg> {
+    (
+        (arb_gid(), any::<u32>(), any::<bool>(), any::<u32>()),
+        (pvec(arb_lock_request(), 0..4), pvec(arb_wait_entry(), 0..4)),
+        (pvec((arb_gid(), arb_requirement()), 0..4), arb_vc()),
+    )
+        .prop_map(|((lock, to_thread, resume_wait, saved_count), (request_q, wait_q), (notices, vc))| {
+            Msg::LockGrant { lock, to_thread, resume_wait, saved_count, request_q, wait_q, notices, vc }
+        })
+}
+
+fn arb_owner_change() -> impl Strategy<Value = Msg> {
+    (arb_gid(), any::<u16>()).prop_map(|(lock, new_owner)| Msg::OwnerChange { lock, new_owner })
+}
+
+fn arb_diff_flush() -> impl Strategy<Value = Msg> {
+    (arb_gid(), pvec((any::<u32>(), arb_wval()), 0..6), any::<u16>(), any::<u32>(), any::<bool>())
+        .prop_map(|(gid, entries, node, interval, want_ack)| Msg::DiffFlush { gid, entries, node, interval, want_ack })
+}
+
+fn arb_diff_ack() -> impl Strategy<Value = Msg> {
+    (arb_gid(), any::<u32>()).prop_map(|(gid, version)| Msg::DiffAck { gid, version })
+}
+
+// want_idx = u32::MAX means "no element fault" — exercise the sentinel
+// itself alongside arbitrary indices.
+fn arb_fetch() -> impl Strategy<Value = Msg> {
+    (arb_gid(), arb_requirement(), any::<u16>(), any::<u32>(), prop_oneof![Just(u32::MAX), any::<u32>()])
+        .prop_map(|(gid, need, node, thread, want_idx)| Msg::Fetch { gid, need, node, thread, want_idx })
+}
+
+// `chunk_info = Some(..)` is the chunked-array first-contact reply (region
+// layout piggybacked on the state); `applied` is the classic-mode per-copy
+// interval map.
+fn arb_obj_state() -> impl Strategy<Value = Msg> {
+    (
+        (arb_gid(), any::<u32>(), arb_wire_state(), any::<u32>()),
+        (pvec((any::<u16>(), any::<u32>()), 0..4), any::<u32>(), any::<u32>()),
+        prop_oneof![Just(None), (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(Some)],
+    )
+        .prop_map(|((gid, class, state, version), (applied, to_thread, offset), chunk_info)| {
+            Msg::ObjState { gid, class, state, version, applied, to_thread, offset, chunk_info }
+        })
+}
+
+fn arb_spawn_thread() -> impl Strategy<Value = Msg> {
+    (arb_gid(), any::<u32>(), arb_wire_state(), any::<i32>())
+        .prop_map(|(thread_gid, class, state, priority)| Msg::SpawnThread { thread_gid, class, state, priority })
+}
+
+fn arb_println() -> impl Strategy<Value = Msg> {
+    (".{0,40}", any::<u16>()).prop_map(|(line, origin)| Msg::Println { line, origin })
+}
+
+/// encode→decode must reproduce the message, `wire_len` must agree with the
+/// actual encoding, and the statistics category must be stable.
+fn check_roundtrip(msg: Msg) -> Result<(), TestCaseError> {
+    let bytes = msg.encode();
+    prop_assert_eq!(bytes.len(), msg.wire_len(), "wire_len mismatch for {:?}", msg);
+    let decoded = Msg::decode(bytes).expect("decode");
+    prop_assert_eq!(decoded.kind(), msg.kind());
+    prop_assert_eq!(decoded, msg);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_lock_req(msg in arb_lock_req()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_lock_grant(msg in arb_lock_grant()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_owner_change(msg in arb_owner_change()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_diff_flush(msg in arb_diff_flush()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_diff_ack(msg in arb_diff_ack()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_fetch(msg in arb_fetch()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_obj_state(msg in arb_obj_state()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_spawn_thread(msg in arb_spawn_thread()) { check_roundtrip(msg)?; }
+
+    #[test]
+    fn roundtrip_println(msg in arb_println()) { check_roundtrip(msg)?; }
 }

@@ -522,7 +522,7 @@ mod tests {
         let bytes = encode_program(&p);
         let instrs = p.code_size();
         // A few bytes per instruction plus names — sanity band.
-        assert!(bytes.len() > instrs * 1, "{} bytes for {instrs} instrs", bytes.len());
+        assert!(bytes.len() > instrs, "{} bytes for {instrs} instrs", bytes.len());
         assert!(bytes.len() < instrs * 60, "{} bytes for {instrs} instrs", bytes.len());
     }
 

@@ -125,17 +125,17 @@ pub fn verify_method(c: &ClassFile, m: &MethodDef, opts: VerifyOptions) -> Resul
             errors.push(err(pc, format!("DSM pseudo-instruction in original code: {ins:?}")));
         }
         match ins {
-            Instr::Load(i) | Instr::Store(i) | Instr::IInc(i, _) => {
-                if *i >= m.max_locals.max(m.param_slots()) {
-                    errors.push(err(pc, format!("local {i} out of bounds (max_locals {})", m.max_locals)));
-                }
+            Instr::Load(i) | Instr::Store(i) | Instr::IInc(i, _)
+                if *i >= m.max_locals.max(m.param_slots()) =>
+            {
+                errors.push(err(pc, format!("local {i} out of bounds (max_locals {})", m.max_locals)));
             }
             Instr::DsmCheckRead { depth, .. }
             | Instr::DsmCheckWrite { depth, .. }
-            | Instr::DsmVolatileAcquire { depth } => {
-                if *depth > 3 {
-                    errors.push(err(pc, format!("implausible check depth {depth}")));
-                }
+            | Instr::DsmVolatileAcquire { depth }
+                if *depth > 3 =>
+            {
+                errors.push(err(pc, format!("implausible check depth {depth}")));
             }
             _ => {}
         }

@@ -14,7 +14,9 @@
 pub mod codec;
 pub mod sim;
 pub mod stats;
+pub mod transport;
 
 pub use codec::{Reader, Writer};
 pub use sim::{LinkParams, Network, NodeId};
 pub use stats::{MsgKind, NetStats};
+pub use transport::{ChannelEndpoint, MeshSetup, Transport, WireMsg};

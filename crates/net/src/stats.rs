@@ -179,9 +179,7 @@ mod tests {
         assert_eq!(s.recv_of(MsgKind::Fetch), 0);
         assert_eq!(s.msgs_recv, 3);
         // The kind arrays participate in equality.
-        let mut t = NetStats::default();
-        t.msgs_recv = 3;
-        t.bytes_recv = 116;
+        let t = NetStats { msgs_recv: 3, bytes_recv: 116, ..NetStats::default() };
         assert_ne!(s, t);
     }
 }

@@ -1,0 +1,233 @@
+//! Pluggable message transport beneath the runtime drivers.
+//!
+//! The paper's nodes exchange messages over "standard IP-based
+//! communication" (§2); the reproduction abstracts that seam as
+//! [`Transport`]: the virtual-time [`Network`] is the reference
+//! implementation, and [`ChannelEndpoint`] carries *encoded* protocol
+//! bytes between OS threads over in-process channels — same latency model,
+//! same FIFO rule, same statistics, real serialization boundary. A TCP
+//! implementation slots in behind the same seam.
+
+use crate::sim::{LinkParams, Network, NodeId};
+use crate::stats::{MsgKind, NetStats};
+use bytes::Bytes;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// What a driver needs from a message fabric: given a send of `bytes` wire
+/// bytes at virtual `now_ps`, account it on both ends and return the
+/// virtual delivery time (respecting the per-link FIFO rule).
+pub trait Transport {
+    fn send(&mut self, now_ps: u64, src: NodeId, dst: NodeId, bytes: usize, kind: MsgKind) -> u64;
+    fn nodes(&self) -> usize;
+}
+
+impl Transport for Network {
+    fn send(&mut self, now_ps: u64, src: NodeId, dst: NodeId, bytes: usize, kind: MsgKind) -> u64 {
+        Network::send(self, now_ps, src, dst, bytes, kind)
+    }
+
+    fn nodes(&self) -> usize {
+        Network::nodes(self)
+    }
+}
+
+/// An encoded protocol message crossing a thread boundary, plus the
+/// virtual-time metadata the receiving driver needs to order delivery
+/// deterministically.
+#[derive(Debug)]
+pub struct WireMsg {
+    pub src: NodeId,
+    pub kind: MsgKind,
+    /// The real codec output — exactly the bytes a socket would carry.
+    pub payload: Bytes,
+    /// Virtual delivery time at the receiver, computed by the sender's
+    /// link model (send time + latency, FIFO-adjusted).
+    pub deliver_ps: u64,
+    /// Virtual time of the sender's scheduler step that produced the
+    /// message (tie-break key for deterministic merge).
+    pub step_ps: u64,
+    /// Sender-local sequence number: `(deliver_ps, step_ps, src, seq)`
+    /// totally orders all arrivals at a receiver.
+    pub seq: u64,
+}
+
+/// One node's end of a fully connected channel mesh.
+///
+/// Owns this node's link parameters, FIFO state, statistics, and the
+/// receive end of its inbound channel. Send statistics are recorded at
+/// [`ChannelEndpoint::transmit`]; receive statistics when the receiver
+/// drains the message ([`ChannelEndpoint::try_recv`]) — totals match the
+/// simulated [`Network`] because every sent message is drained (the
+/// threads driver drains leftovers at shutdown).
+pub struct ChannelEndpoint {
+    pub id: NodeId,
+    link: LinkParams,
+    peers: Vec<Option<Sender<WireMsg>>>,
+    rx: Receiver<WireMsg>,
+    /// FIFO slot per destination: delivery times on a (src,dst) link are
+    /// strictly increasing, same rule as [`Network::send`].
+    last_delivery: Vec<u64>,
+    pub stats: NetStats,
+    seq: u64,
+}
+
+impl ChannelEndpoint {
+    /// Build a fully connected mesh, one endpoint per link entry.
+    pub fn mesh(links: &[LinkParams]) -> Vec<ChannelEndpoint> {
+        let n = links.len();
+        let mut senders: Vec<Sender<WireMsg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<WireMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| ChannelEndpoint {
+                id: i as NodeId,
+                link: links[i],
+                peers: (0..n).map(|j| if j == i { None } else { Some(senders[j].clone()) }).collect(),
+                rx,
+                last_delivery: vec![0; n],
+                stats: NetStats::default(),
+                seq: 0,
+            })
+            .collect()
+    }
+
+    /// Delivery-time computation + send-side accounting (the sender half
+    /// of [`Network::send`]'s latency model, identical numbers).
+    fn plan_send(&mut self, now_ps: u64, dst: NodeId, bytes: usize, kind: MsgKind) -> u64 {
+        self.stats.record_send(dst, bytes, kind);
+        let raw = if dst == self.id {
+            now_ps + 1_000_000 // 1 µs loopback
+        } else {
+            now_ps + self.link.latency_ps(bytes)
+        };
+        let slot = &mut self.last_delivery[dst as usize];
+        let t = raw.max(*slot + 1);
+        *slot = t;
+        t
+    }
+
+    /// Ship encoded bytes to `dst` at virtual `now_ps`. Remote sends cross
+    /// the channel and return `None`; self-sends are handed back to the
+    /// caller (a loopback delivery is below any synchronization window, so
+    /// the local driver must queue it itself).
+    pub fn transmit(&mut self, now_ps: u64, step_ps: u64, dst: NodeId, kind: MsgKind, payload: Bytes) -> (u64, Option<WireMsg>) {
+        let deliver_ps = self.plan_send(now_ps, dst, payload.len(), kind);
+        let msg = WireMsg { src: self.id, kind, payload, deliver_ps, step_ps, seq: self.seq };
+        self.seq += 1;
+        if dst == self.id {
+            (deliver_ps, Some(msg))
+        } else {
+            // A peer only disconnects at teardown, when the run's outcome
+            // is already decided.
+            let _ = self.peers[dst as usize].as_ref().expect("no channel to self").send(msg);
+            (deliver_ps, None)
+        }
+    }
+
+    /// Drain one inbound message, recording receive statistics.
+    pub fn try_recv(&mut self) -> Option<WireMsg> {
+        let msg = self.rx.try_recv().ok()?;
+        self.stats.record_recv(msg.payload.len(), msg.kind);
+        Some(msg)
+    }
+
+    /// Receive-side accounting without a channel hop (setup-phase traffic
+    /// is planned single-threaded before the mesh is distributed).
+    pub fn record_recv(&mut self, bytes: usize, kind: MsgKind) {
+        self.stats.record_recv(bytes, kind);
+    }
+}
+
+/// [`Transport`] over a not-yet-distributed mesh: bootstrap traffic (class
+/// shipping) is planned while all endpoints are still in one place, so both
+/// ends' statistics are recorded directly — no payload crosses a channel.
+pub struct MeshSetup<'a>(pub &'a mut [ChannelEndpoint]);
+
+impl Transport for MeshSetup<'_> {
+    fn send(&mut self, now_ps: u64, src: NodeId, dst: NodeId, bytes: usize, kind: MsgKind) -> u64 {
+        let at = self.0[src as usize].plan_send(now_ps, dst, bytes, kind);
+        if src != dst {
+            self.0[dst as usize].record_recv(bytes, kind);
+        } else {
+            self.0[src as usize].record_recv(bytes, kind);
+        }
+        at
+    }
+
+    fn nodes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links() -> Vec<LinkParams> {
+        vec![
+            LinkParams { base_ns: 636_400, per_byte_ns: 88 },
+            LinkParams { base_ns: 85_800, per_byte_ns: 91 },
+        ]
+    }
+
+    #[test]
+    fn endpoint_matches_network_delivery_times() {
+        let mut net = Network::new(links());
+        let mut mesh = ChannelEndpoint::mesh(&links());
+        for (now, src, dst, bytes) in [(0u64, 0u16, 1u16, 100usize), (5, 0, 1, 10), (7, 1, 0, 2000), (9, 1, 1, 4)] {
+            let want = net.send(now, src, dst, bytes, MsgKind::Diff);
+            let (got, _) = mesh[src as usize].transmit(now, now, dst, MsgKind::Diff, Bytes::from(vec![0u8; bytes]));
+            assert_eq!(got, want, "send {now} {src}->{dst} {bytes}B");
+        }
+    }
+
+    #[test]
+    fn payload_bytes_cross_the_channel() {
+        let mut mesh = ChannelEndpoint::mesh(&links());
+        let payload = Bytes::copy_from_slice(b"hello wire");
+        let (at, local) = mesh[0].transmit(42, 42, 1, MsgKind::Control, payload.clone());
+        assert!(local.is_none());
+        let got = mesh[1].try_recv().expect("delivered");
+        assert_eq!(got.payload.as_ref(), payload.as_ref());
+        assert_eq!(got.deliver_ps, at);
+        assert_eq!(got.src, 0);
+        assert_eq!(mesh[0].stats.msgs_sent, 1);
+        assert_eq!(mesh[1].stats.msgs_recv, 1);
+        assert_eq!(mesh[1].stats.bytes_recv, payload.len() as u64);
+    }
+
+    #[test]
+    fn self_sends_stay_local() {
+        let mut mesh = ChannelEndpoint::mesh(&links());
+        let (at, local) = mesh[0].transmit(0, 0, 0, MsgKind::Control, Bytes::copy_from_slice(b"x"));
+        let msg = local.expect("loopback returned to caller");
+        assert_eq!(msg.deliver_ps, at);
+        assert_eq!(at, 1_000_000);
+        assert!(mesh[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn fifo_per_destination() {
+        let mut mesh = ChannelEndpoint::mesh(&links());
+        let (t1, _) = mesh[0].transmit(0, 0, 1, MsgKind::ObjState, Bytes::from(vec![0u8; 65_000]));
+        let (t2, _) = mesh[0].transmit(1, 1, 1, MsgKind::LockReq, Bytes::from(vec![0u8; 10]));
+        assert!(t2 > t1, "FIFO violated: {t2} <= {t1}");
+    }
+
+    #[test]
+    fn setup_mesh_matches_network_accounting() {
+        let mut net = Network::new(links());
+        let mut mesh = ChannelEndpoint::mesh(&links());
+        let want = net.send(0, 0, 1, 5_000, MsgKind::Control);
+        let got = MeshSetup(&mut mesh).send(0, 0, 1, 5_000, MsgKind::Control);
+        assert_eq!(got, want);
+        assert_eq!(mesh[0].stats.msgs_sent, net.stats[0].msgs_sent);
+        assert_eq!(mesh[1].stats.recv_by_kind, net.stats[1].recv_by_kind);
+    }
+}

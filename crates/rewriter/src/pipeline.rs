@@ -104,8 +104,7 @@ pub struct Rewritten {
 /// library) into its distributed `javasplit.*` form.
 pub fn rewrite_program(original: &Program) -> Result<Rewritten, RewriteError> {
     let mut p = original.clone();
-    let mut stats = RewriteStats::default();
-    stats.code_size_before = p.code_size();
+    let mut stats = RewriteStats { code_size_before: p.code_size(), ..RewriteStats::default() };
 
     // 1. Native-method policy.
     for c in &p.classes {

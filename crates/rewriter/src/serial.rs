@@ -73,13 +73,15 @@ pub fn generate(program: &Program) -> SerializerRegistry {
     let by_name: HashMap<&str, usize> =
         program.classes.iter().enumerate().map(|(i, c)| (&*c.name, i)).collect();
 
+    type FieldLayout = Vec<(Arc<str>, Ty)>;
+
     // Flattened layout, memoized per class.
     fn layout(
         idx: usize,
         program: &Program,
         by_name: &HashMap<&str, usize>,
-        memo: &mut Vec<Option<Vec<(Arc<str>, Ty)>>>,
-    ) -> Vec<(Arc<str>, Ty)> {
+        memo: &mut Vec<Option<FieldLayout>>,
+    ) -> FieldLayout {
         if let Some(l) = &memo[idx] {
             return l.clone();
         }

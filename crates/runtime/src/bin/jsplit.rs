@@ -3,7 +3,7 @@
 //! ```text
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
-//!        [--trace out.json] [--stats]
+//!        [--backend sim|threads] [--trace out.json] [--stats]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -16,13 +16,13 @@ use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::classfile_io;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Balancer, ClusterConfig};
+use jsplit_runtime::{Backend, Balancer, ClusterConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
-         \x20          [--trace out.json] [--stats]\n\
+         \x20          [--backend sim|threads] [--trace out.json] [--stats]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -63,6 +63,7 @@ fn cmd_run(rest: &[String]) {
     let mut balancer = Balancer::LeastLoaded;
     let mut trace_path: Option<String> = None;
     let mut stats = false;
+    let mut backend = Backend::Sim;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -83,6 +84,13 @@ fn cmd_run(rest: &[String]) {
                 }
             }
             "--chunk" => chunk = it.next().and_then(|s| s.parse().ok()),
+            "--backend" => {
+                backend = match it.next().map(String::as_str) {
+                    Some("sim") => Backend::Sim,
+                    Some("threads") => Backend::Threads,
+                    _ => usage(),
+                }
+            }
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
             "--balancer" => {
@@ -106,7 +114,12 @@ fn cmd_run(rest: &[String]) {
     cfg.protocol = protocol;
     cfg.array_chunk = chunk;
     cfg.balancer = balancer;
-    if trace_path.is_some() || stats {
+    cfg.backend = backend;
+    if backend == Backend::Threads && trace_path.is_some() {
+        eprintln!("jsplit: --trace requires --backend sim (event tracing is a sim-backend feature)");
+        std::process::exit(2);
+    }
+    if (trace_path.is_some() || stats) && backend == Backend::Sim {
         cfg.trace = Some(jsplit_trace::TraceMode::Full);
     }
 
@@ -118,12 +131,17 @@ fn cmd_run(rest: &[String]) {
         println!("{line}");
     }
     let mode = if baseline { "baseline" } else { "javasplit" };
+    let backend_name = match backend {
+        Backend::Sim => "sim",
+        Backend::Threads => "threads",
+    };
     eprintln!(
-        "[jsplit] mode={mode} nodes={} profile={} time={:.6}s setup={:.6}s threads={} msgs={} bytes={}",
+        "[jsplit] mode={mode} backend={backend_name} nodes={} profile={} time={:.6}s setup={:.6}s wall={:.3}s threads={} msgs={} bytes={}",
         if baseline { 1 } else { nodes },
         profile.name(),
         report.exec_time_secs(),
         report.setup_ps as f64 / 1e12,
+        report.host_wall_secs,
         report.threads,
         report.net_total().msgs_sent,
         report.net_total().bytes_sent,

@@ -14,6 +14,19 @@ pub enum Mode {
     JavaSplit,
 }
 
+/// Which driver executes the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Deterministic discrete-event virtual-time simulation (the reference
+    /// semantics; bit-for-bit reproducible).
+    #[default]
+    Sim,
+    /// Each node on its own OS thread, protocol messages crossing channels
+    /// as encoded bytes. Virtual-time semantics are preserved (windowed
+    /// conservative synchronization), wall-clock time is real.
+    Threads,
+}
+
 /// One worker node (heterogeneous clusters mix profiles, paper §6).
 #[derive(Debug, Clone, Copy)]
 pub struct NodeSpec {
@@ -56,6 +69,9 @@ pub struct ClusterConfig {
     /// Structured event tracing (`None` = disabled, the zero-cost default;
     /// the run behaves bit-identically either way).
     pub trace: Option<TraceMode>,
+    /// Which driver executes the run (sim by default; tracing and mid-run
+    /// joins require the sim backend).
+    pub backend: Backend,
 }
 
 impl ClusterConfig {
@@ -73,6 +89,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            backend: Backend::default(),
         }
     }
 
@@ -90,6 +107,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            backend: Backend::default(),
         }
     }
 
@@ -107,6 +125,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            backend: Backend::default(),
         }
     }
 
@@ -146,6 +165,12 @@ impl ClusterConfig {
         self.trace = Some(mode);
         self
     }
+
+    /// Select the execution backend (virtual-time sim vs real OS threads).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +192,8 @@ mod tests {
         assert_eq!(b.trace, None);
         let t = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_trace(TraceMode::Ring(64));
         assert_eq!(t.trace, Some(TraceMode::Ring(64)));
+        assert_eq!(t.backend, Backend::Sim);
+        let th = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_backend(Backend::Threads);
+        assert_eq!(th.backend, Backend::Threads);
     }
 }

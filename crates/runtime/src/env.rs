@@ -192,6 +192,8 @@ impl VmEnv for JsEnv {
 }
 
 /// Per-worker environment: baseline or JavaSplit.
+// One instance per node; boxing the large variant would buy nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum NodeEnv {
     Baseline(BaselineEnv),
     Js(JsEnv),

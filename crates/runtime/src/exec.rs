@@ -1,118 +1,52 @@
-//! The cluster: workers + discrete-event scheduler (the "runtime" of the
-//! paper's §2, with the testbed of §6 as its virtual-time model).
+//! The virtual-time driver: discrete-event simulation over the node
+//! runtimes (the "runtime" of the paper's §2, with the testbed of §6 as
+//! its virtual-time model).
 //!
 //! One global event queue orders CPU slices and message deliveries by
 //! virtual time (ties broken by insertion order, so runs are bit-for-bit
-//! deterministic). Each worker owns a heap, a DSM engine, a ready queue and
-//! `cpus_per_node` virtual CPUs; threads are green threads whose instruction
-//! costs advance their CPU's clock per the node's JVM-brand cost model.
+//! deterministic). Each [`NodeRuntime`] owns a heap, a DSM engine, a ready
+//! queue and `cpus_per_node` virtual CPUs; threads are green threads whose
+//! instruction costs advance their CPU's clock per the node's JVM-brand
+//! cost model. This driver is the *reference semantics*: the threads
+//! backend ([`crate::threads`]) must agree with it on program output and
+//! protocol counters.
 
 use crate::balance::{BalancerState, LoadBalancer};
-use crate::config::{ClusterConfig, Mode, NodeSpec};
-use crate::env::{JsEnv, NodeEnv, CONSOLE_NODE};
+use crate::config::{Backend, ClusterConfig, Mode, NodeSpec};
+use crate::driver::{self, Driver, Prepared};
+use crate::env::CONSOLE_NODE;
+use crate::node::{Effect, LocalEv, NodeRuntime};
 use crate::report::RunReport;
-use jsplit_dsm::node::Action;
-use jsplit_dsm::{DsmConfig, DsmNode, Msg};
-use jsplit_mjvm::class::{Program, Sig};
-use jsplit_mjvm::cost::CostModel;
-use jsplit_mjvm::heap::{Gid, Heap, ObjRef, ThreadUid};
-use jsplit_mjvm::interp::{self, Frame, StepCtx, StepState, Thread, VmError};
-use jsplit_mjvm::loader::{ClassId, Image, LoadError, MethodId};
-use jsplit_mjvm::{stdlib, Value};
-use jsplit_net::{LinkParams, Network, NodeId};
-use jsplit_rewriter::{RewriteError, RewriteStats, STATICS_HOLDER};
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::heap::{ObjRef, ThreadUid};
+use jsplit_mjvm::interp::{Frame, VmError};
+use jsplit_mjvm::loader::{ClassId, Image, MethodId};
+use jsplit_mjvm::Value;
+use jsplit_net::{Network, NodeId};
+use jsplit_rewriter::RewriteStats;
 use jsplit_trace::{make_sink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// Sentinel in [`Cluster::thread_slot`] marking a uid whose thread has
-/// exited (uids are dense and never reused, slab slots are).
-const DEAD_SLOT: u32 = u32::MAX;
-
-/// Errors preparing a cluster run.
-#[derive(Debug)]
-pub enum ClusterError {
-    Rewrite(RewriteError),
-    Load(LoadError),
-    Config(String),
-}
-
-impl std::fmt::Display for ClusterError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClusterError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
-            ClusterError::Load(e) => write!(f, "load failed: {e}"),
-            ClusterError::Config(s) => write!(f, "bad configuration: {s}"),
-        }
-    }
-}
-
-impl std::error::Error for ClusterError {}
+pub use crate::driver::ClusterError;
 
 /// A scheduled event.
 enum Ev {
-    /// Run a quantum of `thread` on `cpu` of `node`.
-    Slice { node: NodeId, cpu: usize, thread: ThreadUid },
+    /// A node-local event (CPU slice or sleeper wake).
+    Local { node: NodeId, ev: LocalEv },
     /// Deliver a protocol/runtime message.
-    Deliver { dst: NodeId, msg: Msg },
-    /// A sleeping thread's timer expired.
-    WakeSleeper { node: NodeId, thread: ThreadUid },
+    Deliver { dst: NodeId, msg: jsplit_dsm::Msg },
     /// A new worker joins the pool (paper §2).
     Join { spec: NodeSpec },
 }
 
-struct Worker {
-    #[allow(dead_code)]
-    id: NodeId,
-    model: &'static CostModel,
-    heap: Heap,
-    env: NodeEnv,
-    /// Thread slab: a thread's slot is stable for its whole life (slots of
-    /// exited threads are recycled through `free_slots`), so a CPU slice
-    /// runs the thread in place instead of the old per-slice HashMap
-    /// remove/insert round trip.
-    threads: Vec<Option<Thread>>,
-    free_slots: Vec<u32>,
-    /// Live threads on this node (the slab has holes, so it is counted).
-    live: usize,
-    ready: VecDeque<ThreadUid>,
-    cpu_free: Vec<u64>,
-    cpu_busy: Vec<bool>,
-}
-
-impl Worker {
-    fn live(&self) -> usize {
-        self.live
-    }
-
-    fn insert_thread(&mut self, th: Thread) -> u32 {
-        self.live += 1;
-        match self.free_slots.pop() {
-            Some(s) => {
-                self.threads[s as usize] = Some(th);
-                s
-            }
-            None => {
-                self.threads.push(Some(th));
-                (self.threads.len() - 1) as u32
-            }
-        }
-    }
-
-    fn remove_thread(&mut self, slot: u32) -> Thread {
-        self.live -= 1;
-        self.free_slots.push(slot);
-        self.threads[slot as usize].take().expect("live thread slot")
-    }
-}
-
-/// The distributed runtime.
+/// The distributed runtime under the deterministic virtual-time driver.
 pub struct Cluster {
     config: ClusterConfig,
     image: Arc<Image>,
     rewrite: Option<RewriteStats>,
-    workers: Vec<Worker>,
+    nodes: Vec<NodeRuntime>,
     net: Network,
     events: BinaryHeap<Reverse<(u64, u64, usize)>>,
     /// Event payloads, slab-allocated: dispatched slots are recycled through
@@ -123,19 +57,12 @@ pub struct Cluster {
     payloads: Vec<Option<Ev>>,
     free_events: Vec<usize>,
     seq: u64,
-    /// uid → slot in its worker's thread slab ([`DEAD_SLOT`] once the
-    /// thread exits). Dense because uids are allocated sequentially.
-    thread_slot: Vec<u32>,
-    /// uid → currently queued in its worker's ready queue. Replaces the
-    /// O(ready-queue) `contains` scan on every wake.
-    in_ready: Vec<bool>,
     next_uid: ThreadUid,
     live_threads: usize,
     total_threads: u32,
     console: Vec<String>,
     errors: Vec<(ThreadUid, VmError)>,
     ops: u64,
-    finish_time: u64,
     lb: BalancerState,
     thread_main: MethodId,
     thread_class: ClassId,
@@ -149,94 +76,55 @@ pub struct Cluster {
     /// Structured event recorder (`None` = tracing disabled, the default;
     /// every producer site checks this before doing any work).
     recorder: Option<Box<dyn TraceSink>>,
-    /// Retired instructions per node (grown on join).
-    ops_per_node: Vec<u64>,
+    /// Scratch buffer for node effect drains, reused across events.
+    fx: Vec<Effect>,
 }
 
 impl Cluster {
     /// Prepare a run: rewrite (JavaSplit mode), load, create workers, set up
     /// the shared `C_static` singletons and place `main` on worker 0.
     pub fn new(config: ClusterConfig, program: &Program) -> Result<Cluster, ClusterError> {
-        if config.nodes.is_empty() {
-            return Err(ClusterError::Config("at least one node required".into()));
-        }
-        if config.mode == Mode::Baseline && config.nodes.len() != 1 {
-            return Err(ClusterError::Config("baseline mode runs on exactly one node".into()));
-        }
+        let Prepared { image, rewrite, class_bytes, thread_class, thread_main } = driver::prepare(&config, program)?;
 
-        let (image, rewrite, class_bytes) = match config.mode {
-            Mode::Baseline => {
-                let image = Image::load(program).map_err(ClusterError::Load)?;
-                (image, None, 0usize)
-            }
-            Mode::JavaSplit => {
-                let rw = jsplit_rewriter::rewrite_program(program).map_err(ClusterError::Rewrite)?;
-                let image = Image::load(&rw.program).map_err(ClusterError::Load)?;
-                // §2: "the resulting rewritten classes are sent to one of
-                // the worker nodes" — class distribution is real traffic.
-                let bytes = jsplit_mjvm::classfile_io::encode_program(&rw.program).len();
-                (image, Some(rw.stats), bytes)
-            }
-        };
-        let image = Arc::new(image);
-        let thread_class = image.class_id_any(stdlib::THREAD).expect("Thread class");
-        let thread_main = image
-            .resolve_method(
-                image.class_id_any(stdlib::JSRUNTIME).expect("JSRuntime"),
-                &Sig::new("threadMain", &[jsplit_mjvm::Ty::Ref], None),
-            )
-            .expect("threadMain");
-
-        let links: Vec<LinkParams> = config
-            .nodes
-            .iter()
-            .map(|s| {
-                let m = s.profile.cost_model();
-                LinkParams { base_ns: m.net_base_ns, per_byte_ns: m.net_per_byte_ns }
-            })
-            .collect();
+        let links = config.nodes.iter().map(|s| driver::link_params(*s)).collect();
         let mut net = Network::new(links);
         if config.trace.is_some() {
             net.trace = Some(Vec::new());
         }
 
-        let mut workers = Vec::with_capacity(config.nodes.len());
+        let mut nodes = Vec::with_capacity(config.nodes.len());
         for (i, spec) in config.nodes.iter().enumerate() {
-            workers.push(make_worker(i as NodeId, *spec, &config, &image, thread_class));
+            nodes.push(NodeRuntime::new(i as NodeId, *spec, &config, image.clone(), thread_class));
         }
 
         // Sized eagerly for the initial pool (and grown in `join_worker`),
         // never lazily in the dispatch path.
-        let in_flight = vec![0; workers.len()];
+        let in_flight = vec![0; nodes.len()];
         let recorder = config.trace.map(make_sink);
-        let ops_per_node = vec![0u64; workers.len()];
         let mut cluster = Cluster {
             lb: BalancerState::new(config.balancer),
             config,
             image,
             rewrite,
-            workers,
+            nodes,
             net,
             events: BinaryHeap::new(),
             payloads: Vec::new(),
             free_events: Vec::new(),
             seq: 0,
-            thread_slot: Vec::new(),
-            in_ready: Vec::new(),
             next_uid: 0,
             live_threads: 0,
             total_threads: 0,
             console: Vec::new(),
             errors: Vec::new(),
             ops: 0,
-            finish_time: 0,
             thread_main,
             thread_class,
             in_flight,
             class_bytes,
             setup_ps: 0,
             recorder,
-            ops_per_node,
+            fx: Vec::new(),
         };
 
         // Ship the rewritten class files to every worker during *setup*.
@@ -244,14 +132,14 @@ impl Cluster {
         // once the pool is ready, so distribution is reported as setup time
         // (and counted in the traffic statistics) but does not delay t = 0.
         if cluster.config.mode == Mode::JavaSplit {
-            for i in 1..cluster.workers.len() {
-                let at = cluster.net.send(0, 0, i as NodeId, class_bytes, jsplit_net::MsgKind::Control);
+            for i in 1..cluster.nodes.len() {
+                let at = driver::ship_classes(&mut cluster.net, 0, i as NodeId, class_bytes);
                 cluster.setup_ps = cluster.setup_ps.max(at);
             }
         }
 
         if cluster.config.mode == Mode::JavaSplit {
-            cluster.bootstrap_statics();
+            driver::bootstrap_statics(&mut cluster.nodes, &cluster.image.clone());
         }
 
         // Mid-run joins.
@@ -269,38 +157,11 @@ impl Cluster {
 
         // Setup-phase activity (statics bootstrap, class shipping) is part
         // of the trace too; stamp its buffered DSM events at t = 0.
-        for n in 0..cluster.workers.len() {
+        for n in 0..cluster.nodes.len() {
             cluster.drain_trace_buffers(n as NodeId, 0);
         }
 
         Ok(cluster)
-    }
-
-    /// Create the shared `C_static` singletons on worker 0 and fill every
-    /// node's constant holder slot with a (placeholder) local copy (§4.2).
-    fn bootstrap_statics(&mut self) {
-        let image = self.image.clone();
-        let mut singletons: Vec<(ClassId, u16, Gid, ClassId)> = Vec::new();
-        for rc in &image.classes {
-            let Some(slot) = rc.static_names.iter().position(|n| &**n == STATICS_HOLDER) else {
-                continue;
-            };
-            let comp_name = format!("{}{}", rc.name, jsplit_rewriter::STATIC_SUFFIX);
-            let comp = image.class_id(&comp_name).expect("companion class exists");
-            // Master on worker 0.
-            let w0 = &mut self.workers[0];
-            let zeros = image.class(comp).zeroed_fields();
-            let master = w0.heap.alloc_object(comp, zeros.len(), zeros);
-            let gid = w0.env.js().dsm.share_object(&mut w0.heap, master);
-            w0.heap.set_static(rc.id, slot as u16, Value::Ref(master));
-            singletons.push((rc.id, slot as u16, gid, comp));
-        }
-        for w in self.workers.iter_mut().skip(1) {
-            for (class, slot, gid, comp) in &singletons {
-                let local = w.env.js().dsm.ensure_cached(&mut w.heap, &image, *gid, *comp);
-                w.heap.set_static(*class, *slot, Value::Ref(local));
-            }
-        }
     }
 
     /// Record one trace event at virtual time `t` (no-op when disabled).
@@ -318,10 +179,8 @@ impl Cluster {
         let Some(r) = &mut self.recorder else {
             return;
         };
-        if let NodeEnv::Js(e) = &mut self.workers[node as usize].env {
-            for ev in e.dsm.take_trace() {
-                r.record(jsplit_trace::Event { t: now, ev });
-            }
+        for ev in self.nodes[node as usize].take_dsm_trace() {
+            r.record(jsplit_trace::Event { t: now, ev });
         }
         if let Some(buf) = &mut self.net.trace {
             for e in buf.drain(..) {
@@ -345,118 +204,39 @@ impl Cluster {
         self.seq += 1;
     }
 
+    /// Execute a node's ordered effect stream. Effects become event-queue
+    /// pushes in emission order, which is what makes the refactored driver
+    /// bit-identical to the old monolithic scheduler: global sequence
+    /// numbers are assigned exactly where they always were.
+    fn apply_effects(&mut self, node: NodeId) {
+        let mut fx = std::mem::take(&mut self.fx);
+        for f in fx.drain(..) {
+            match f {
+                Effect::Local { time, ev } => self.push(time, Ev::Local { node, ev }),
+                Effect::Send { at, dst, msg } => self.transmit(at, node, dst, msg),
+                Effect::Spawn { now, thread_obj, priority } => self.dispatch_spawn(node, thread_obj, priority, now),
+                Effect::Trace { t, ev } => self.tr(t, ev),
+                Effect::FlushTrace { now } => self.drain_trace_buffers(node, now),
+            }
+        }
+        // Hand the (drained) scratch buffer back for the next event.
+        self.fx = fx;
+    }
+
     fn add_thread(&mut self, node: NodeId, frame: Frame, thread_obj: Option<ObjRef>, now: u64) -> ThreadUid {
         let uid = self.next_uid;
         self.next_uid += 1;
-        let mut th = Thread::new(uid, frame);
-        th.thread_obj = thread_obj;
-        if let Some(obj) = thread_obj {
-            // Thread layout: target(0), priority(1), alive(2).
-            if let jsplit_mjvm::ObjPayload::Fields(f) = &self.workers[node as usize].heap.get(obj).payload {
-                if let Some(p) = f.get(1) {
-                    th.priority = p.as_i32().clamp(1, 10);
-                }
-            }
-        }
-        let slot = self.workers[node as usize].insert_thread(th);
-        self.tr(now, TraceEvent::ThreadSpawn { node, thread: uid });
-        debug_assert_eq!(self.thread_slot.len(), uid as usize);
-        self.thread_slot.push(slot);
-        self.in_ready.push(true);
-        self.workers[node as usize].ready.push_back(uid);
+        debug_assert!(self.fx.is_empty());
+        let mut fx = std::mem::take(&mut self.fx);
+        self.nodes[node as usize].add_thread(uid, frame, thread_obj, now, &mut fx);
+        self.fx = fx;
         self.live_threads += 1;
         self.total_threads += 1;
-        self.schedule(node, now);
+        self.apply_effects(node);
         uid
     }
 
-    /// A live thread's slab slot on its worker.
-    fn thread_mut(&mut self, node: NodeId, uid: ThreadUid) -> &mut Thread {
-        let slot = self.thread_slot[uid as usize];
-        self.workers[node as usize].threads[slot as usize].as_mut().expect("live thread")
-    }
-
-    /// Assign ready threads to idle CPUs.
-    fn schedule(&mut self, node: NodeId, now: u64) {
-        loop {
-            let (start, cpu, thread) = {
-                let w = &mut self.workers[node as usize];
-                if w.ready.is_empty() {
-                    break;
-                }
-                let Some(cpu) = (0..w.cpu_free.len())
-                    .filter(|&c| !w.cpu_busy[c])
-                    .min_by_key(|&c| w.cpu_free[c])
-                else {
-                    break;
-                };
-                let thread = w.ready.pop_front().unwrap();
-                self.in_ready[thread as usize] = false;
-                if self.thread_slot[thread as usize] == DEAD_SLOT {
-                    continue;
-                }
-                w.cpu_busy[cpu] = true;
-                (now.max(w.cpu_free[cpu]), cpu, thread)
-            };
-            self.push(start, Ev::Slice { node, cpu, thread });
-        }
-    }
-
-    fn make_ready(&mut self, node: NodeId, thread: ThreadUid, now: u64) {
-        let i = thread as usize;
-        if self.thread_slot[i] == DEAD_SLOT || self.in_ready[i] {
-            return;
-        }
-        self.tr(now, TraceEvent::ThreadReady { node, thread });
-        self.in_ready[i] = true;
-        self.workers[node as usize].ready.push_back(thread);
-        self.schedule(node, now);
-    }
-
-    /// Drain a worker's environment effects (DSM actions, spawns, sleepers,
-    /// console sends) at virtual time `now`.
-    fn drain_effects(&mut self, node: NodeId, now: u64) {
-        // DSM actions + env sends + spawns + sleepers.
-        let (actions, sends, spawns, sleepers) = {
-            let w = &mut self.workers[node as usize];
-            match &mut w.env {
-                NodeEnv::Js(e) => (
-                    e.dsm.drain_actions(),
-                    std::mem::take(&mut e.sends),
-                    std::mem::take(&mut e.spawns),
-                    std::mem::take(&mut e.sleepers),
-                ),
-                NodeEnv::Baseline(e) => {
-                    let spawns: Vec<(ObjRef, i32)> =
-                        e.spawns.drain(..).map(|o| (o, 5)).collect();
-                    let wakes: Vec<ThreadUid> = e.wakes.drain(..).collect();
-                    let sleepers = std::mem::take(&mut e.sleepers);
-                    let actions: Vec<Action> =
-                        wakes.into_iter().map(|t| Action::Wake { thread: t }).collect();
-                    (actions, Vec::new(), spawns, sleepers)
-                }
-            }
-        };
-
-        for a in actions {
-            match a {
-                Action::Wake { thread } => self.make_ready(node, thread, now),
-                Action::Send { dst, msg } => self.transmit(now, node, dst, msg),
-            }
-        }
-        for (dst, msg) in sends {
-            self.transmit(now, node, dst, msg);
-        }
-        for (wake, thread) in sleepers {
-            self.push(wake.max(now), Ev::WakeSleeper { node, thread });
-        }
-        for (thread_obj, priority) in spawns {
-            self.dispatch_spawn(node, thread_obj, priority, now);
-        }
-        self.drain_trace_buffers(node, now);
-    }
-
-    fn transmit(&mut self, now: u64, src: NodeId, dst: NodeId, msg: Msg) {
+    fn transmit(&mut self, now: u64, src: NodeId, dst: NodeId, msg: jsplit_dsm::Msg) {
         let bytes = msg.wire_len();
         let at = self.net.send(now, src, dst, bytes, msg.kind());
         self.push(at, Ev::Deliver { dst, msg });
@@ -472,20 +252,15 @@ impl Cluster {
             }
             Mode::JavaSplit => {
                 let loads: Vec<usize> = self
-                    .workers
+                    .nodes
                     .iter()
                     .enumerate()
                     .map(|(i, w)| w.live() + self.in_flight[i] as usize)
                     .collect();
                 let dst = self.lb.pick(&loads, origin);
                 self.in_flight[dst as usize] += 1;
-                let msg = {
-                    let image: &Image = &self.image;
-                    let w = &mut self.workers[origin as usize];
-                    let env = w.env.js();
-                    env.dsm.prepare_spawn(&mut w.heap, image, thread_obj, priority)
-                };
-                if let Msg::SpawnThread { thread_gid, .. } = &msg {
+                let msg = self.nodes[origin as usize].prepare_spawn(thread_obj, priority);
+                if let jsplit_dsm::Msg::SpawnThread { thread_gid, .. } = &msg {
                     self.tr(now, TraceEvent::ThreadShip { from: origin, to: dst, thread_gid: thread_gid.0 });
                 }
                 // Shipping may have shared objects; nothing else to drain
@@ -495,8 +270,91 @@ impl Cluster {
         }
     }
 
+    fn run_slice(&mut self, time: u64, node: NodeId, cpu: usize, thread: ThreadUid) {
+        debug_assert!(self.fx.is_empty());
+        let mut fx = std::mem::take(&mut self.fx);
+        let r = self.nodes[node as usize].run_slice(time, cpu, thread, &mut fx);
+        self.fx = fx;
+        self.ops += r.ops;
+        if r.exited {
+            self.live_threads -= 1;
+            if let Some(e) = r.error {
+                self.errors.push((thread, e));
+            }
+        }
+        self.apply_effects(node);
+    }
+
+    fn deliver(&mut self, time: u64, dst: NodeId, msg: jsplit_dsm::Msg) {
+        match msg {
+            jsplit_dsm::Msg::Println { line, .. } => {
+                // Forwarded console output lands in the console node's own
+                // buffer so local and remote lines stay in arrival order.
+                self.nodes[dst as usize].push_console(line);
+            }
+            jsplit_dsm::Msg::SpawnThread { thread_gid, class, state, priority } => {
+                let slot = &mut self.in_flight[dst as usize];
+                *slot = slot.saturating_sub(1);
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                debug_assert!(self.fx.is_empty());
+                let mut fx = std::mem::take(&mut self.fx);
+                self.nodes[dst as usize].install_spawned_thread(
+                    uid,
+                    thread_gid,
+                    class,
+                    &state,
+                    priority,
+                    self.thread_main,
+                    time,
+                    &mut fx,
+                );
+                self.fx = fx;
+                self.live_threads += 1;
+                self.total_threads += 1;
+                self.apply_effects(dst);
+            }
+            other => {
+                debug_assert!(self.fx.is_empty());
+                let mut fx = std::mem::take(&mut self.fx);
+                self.nodes[dst as usize].handle_dsm(time, other, &mut fx);
+                self.fx = fx;
+                self.apply_effects(dst);
+            }
+        }
+    }
+
+    fn wake(&mut self, time: u64, node: NodeId, thread: ThreadUid) {
+        debug_assert!(self.fx.is_empty());
+        let mut fx = std::mem::take(&mut self.fx);
+        self.nodes[node as usize].make_ready(thread, time, &mut fx);
+        self.fx = fx;
+        self.apply_effects(node);
+    }
+
+    fn join_worker(&mut self, time: u64, spec: NodeSpec) {
+        let id = self.net.add_node(driver::link_params(spec));
+        let image = self.image.clone();
+        let mut w = NodeRuntime::new(id, spec, &self.config, image.clone(), self.thread_class);
+        // The joiner downloads the rewritten classes first (the paper's
+        // applet workers fetch them over HTTP).
+        if self.config.mode == Mode::JavaSplit {
+            let at = driver::ship_classes(&mut self.net, time, id, self.class_bytes);
+            w.set_cpu_floor(at);
+        }
+        // Late joiners also need the statics singletons (paper: new nodes
+        // join "simply by pointing a browser at the worker applet").
+        if self.config.mode == Mode::JavaSplit {
+            let singletons = driver::singleton_specs(&mut self.nodes[0], &image);
+            driver::install_singletons(&mut w, &image, &singletons);
+        }
+        self.nodes.push(w);
+        self.in_flight.push(0);
+    }
+
     /// Run to completion and produce the report.
     pub fn run(mut self) -> RunReport {
+        let started = std::time::Instant::now();
         let mut aborted = false;
         while let Some(Reverse((time, _, idx))) = self.events.pop() {
             // Spawned-but-undelivered threads count as live: a main that
@@ -512,23 +370,21 @@ impl Cluster {
             let ev = self.payloads[idx].take().expect("event payload");
             self.free_events.push(idx);
             match ev {
-                Ev::Slice { node, cpu, thread } => self.run_slice(time, node, cpu, thread),
+                Ev::Local { node, ev: LocalEv::Slice { cpu, thread } } => self.run_slice(time, node, cpu, thread),
+                Ev::Local { node, ev: LocalEv::Wake { thread } } => self.wake(time, node, thread),
                 Ev::Deliver { dst, msg } => self.deliver(time, dst, msg),
-                Ev::WakeSleeper { node, thread } => self.make_ready(node, thread, time),
                 Ev::Join { spec } => self.join_worker(time, spec),
             }
         }
         let deadlocked = self.live_threads > 0 && !aborted;
         // Collect console output from the console node's environment.
-        match &mut self.workers[CONSOLE_NODE as usize].env {
-            NodeEnv::Js(e) => self.console.append(&mut e.console),
-            NodeEnv::Baseline(e) => self.console.append(&mut e.output),
-        }
+        let mut out = self.nodes[CONSOLE_NODE as usize].take_console();
+        self.console.append(&mut out);
         // Flush every worker's remaining buffered trace events at the
         // horizon, then order the stream by virtual time (stable, so the
         // deterministic insertion order breaks ties).
-        let finish = self.finish_time;
-        for n in 0..self.workers.len() {
+        let finish = self.nodes.iter().map(|n| n.finish_time).max().unwrap_or(0);
+        for n in 0..self.nodes.len() {
             self.drain_trace_buffers(n as NodeId, finish);
         }
         let trace = self.recorder.take().map(|r| {
@@ -538,7 +394,7 @@ impl Cluster {
         });
         let (breakdown, lock_stats) = match &trace {
             Some(evs) => {
-                let cpus: Vec<u32> = vec![self.config.cpus_per_node as u32; self.workers.len()];
+                let cpus: Vec<u32> = vec![self.config.cpus_per_node as u32; self.nodes.len()];
                 (
                     jsplit_trace::node_breakdown(evs, &cpus, finish),
                     jsplit_trace::lock_contention(evs),
@@ -547,7 +403,7 @@ impl Cluster {
             None => (Vec::new(), Vec::new()),
         };
         RunReport {
-            exec_time_ps: self.finish_time,
+            exec_time_ps: finish,
             output: self.console,
             errors: self.errors,
             deadlocked,
@@ -555,251 +411,31 @@ impl Cluster {
             ops: self.ops,
             threads: self.total_threads,
             net_per_node: self.net.stats.clone(),
-            dsm_per_node: self
-                .workers
-                .iter_mut()
-                .filter_map(|w| match &mut w.env {
-                    NodeEnv::Js(e) => Some(e.dsm.stats.clone()),
-                    NodeEnv::Baseline(_) => None,
-                })
-                .collect(),
+            dsm_per_node: self.nodes.iter_mut().filter_map(|n| n.dsm_stats()).collect(),
             rewrite: self.rewrite,
             setup_ps: self.setup_ps,
             class_bytes: self.class_bytes as u64,
             event_slab_high_water: self.payloads.len() as u64,
-            ops_per_node: self.ops_per_node,
+            ops_per_node: self.nodes.iter().map(|n| n.ops).collect(),
             trace,
             breakdown,
             lock_stats,
+            host_wall_secs: started.elapsed().as_secs_f64(),
         }
-    }
-
-    fn run_slice(&mut self, time: u64, node: NodeId, cpu: usize, thread: ThreadUid) {
-        let fuel = self.config.fuel;
-        let tracing = self.recorder.is_some();
-        // Buffered locally: `self.workers` is mutably borrowed below, so the
-        // recorder can only be touched once the block ends.
-        let mut tev: Vec<(u64, TraceEvent)> = Vec::new();
-        let outcome = {
-            let image: &Image = &self.image;
-            let w = &mut self.workers[node as usize];
-            let slot = self.thread_slot[thread as usize];
-            if slot == DEAD_SLOT {
-                w.cpu_busy[cpu] = false;
-                return;
-            }
-            let th = w.threads[slot as usize].as_mut().expect("live thread slot");
-            w.env.set_now(time);
-            let model = w.model;
-            let res = {
-                let mut ctx = StepCtx { image, heap: &mut w.heap, env: &mut w.env, cost: model };
-                interp::step(th, &mut ctx, fuel)
-            };
-            match res {
-                Ok(out) => {
-                    let end = time + out.cost.max(1);
-                    w.cpu_free[cpu] = end;
-                    w.cpu_busy[cpu] = false;
-                    self.ops += out.ops;
-                    self.ops_per_node[node as usize] += out.ops;
-                    if tracing {
-                        tev.push((time, TraceEvent::Slice { node, cpu: cpu as u32, thread, end, ops: out.ops }));
-                    }
-                    match out.state {
-                        StepState::Running => {
-                            self.in_ready[thread as usize] = true;
-                            w.ready.push_back(thread);
-                        }
-                        StepState::Blocked => {
-                            if tracing {
-                                let reason = w.env.take_block_reason();
-                                tev.push((end, TraceEvent::ThreadBlock { node, thread, reason }));
-                            }
-                        }
-                        StepState::Done => {
-                            let th = w.remove_thread(slot);
-                            self.thread_slot[thread as usize] = DEAD_SLOT;
-                            self.live_threads -= 1;
-                            self.finish_time = self.finish_time.max(end);
-                            if tracing {
-                                tev.push((end, TraceEvent::ThreadExit { node, thread }));
-                            }
-                            // Thread exit is a release point: flush its
-                            // interval now so joiners don't wait behind it,
-                            // and hand the Thread object's lock back to its
-                            // home, where the joiner lives.
-                            if let NodeEnv::Js(e) = &mut w.env {
-                                e.dsm.flush_interval(&mut w.heap);
-                                if let Some(tobj) = th.thread_obj {
-                                    if let Some(gid) = w.heap.get(tobj).dsm.gid {
-                                        e.dsm.release_ownership_to_home(&mut w.heap, gid);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Some(end)
-                }
-                Err(e) => {
-                    let end = time + 1;
-                    w.cpu_free[cpu] = end;
-                    w.cpu_busy[cpu] = false;
-                    let th = w.remove_thread(slot);
-                    self.thread_slot[thread as usize] = DEAD_SLOT;
-                    self.errors.push((thread, e));
-                    self.live_threads -= 1;
-                    self.finish_time = self.finish_time.max(end);
-                    if tracing {
-                        tev.push((time, TraceEvent::Slice { node, cpu: cpu as u32, thread, end, ops: 0 }));
-                        tev.push((end, TraceEvent::ThreadExit { node, thread }));
-                    }
-                    // A trapped thread is still a release point (it can
-                    // never run again): flush its interval, force-drop any
-                    // monitors it still holds so blocked siblings don't
-                    // deadlock, and hand its Thread object's lock home for
-                    // the joiner — mirroring normal termination above.
-                    if let NodeEnv::Js(env) = &mut w.env {
-                        env.dsm.flush_interval(&mut w.heap);
-                        env.dsm.release_all_held(&mut w.heap, thread);
-                        if let Some(tobj) = th.thread_obj {
-                            if let Some(gid) = w.heap.get(tobj).dsm.gid {
-                                env.dsm.release_ownership_to_home(&mut w.heap, gid);
-                            }
-                        }
-                    }
-                    Some(end)
-                }
-            }
-        };
-        for (t, ev) in tev {
-            self.tr(t, ev);
-        }
-        if let Some(end) = outcome {
-            self.drain_effects(node, end);
-            self.schedule(node, end);
-        }
-    }
-
-    fn deliver(&mut self, time: u64, dst: NodeId, msg: Msg) {
-        match msg {
-            Msg::Println { line, .. } => {
-                // Forwarded console output lands in the console node's own
-                // buffer so local and remote lines stay in arrival order.
-                match &mut self.workers[dst as usize].env {
-                    NodeEnv::Js(e) => e.console.push(line),
-                    NodeEnv::Baseline(e) => e.output.push(line),
-                }
-            }
-            Msg::SpawnThread { thread_gid, class, state, priority } => {
-                let slot = &mut self.in_flight[dst as usize];
-                *slot = slot.saturating_sub(1);
-                let obj = {
-                    let image: &Image = &self.image;
-                    let w = &mut self.workers[dst as usize];
-                    let env = w.env.js();
-                    env.dsm.install_spawned(&mut w.heap, image, thread_gid, class, &state)
-                };
-                let m = self.image.method(self.thread_main);
-                let frame = Frame::new(self.thread_main, m.max_locals, vec![Value::Ref(obj)], false);
-                let uid = self.add_thread(dst, frame, Some(obj), time);
-                self.thread_mut(dst, uid).priority = priority.clamp(1, 10);
-                self.drain_effects(dst, time);
-            }
-            other => {
-                let handler_ps = {
-                    let image: &Image = &self.image;
-                    let w = &mut self.workers[dst as usize];
-                    let env = w.env.js();
-                    env.dsm.handle(&mut w.heap, image, other);
-                    w.model.handler_fixed_ns * 1_000
-                };
-                self.drain_effects(dst, time + handler_ps);
-            }
-        }
-    }
-
-    fn join_worker(&mut self, time: u64, spec: NodeSpec) {
-        let m = spec.profile.cost_model();
-        let id = self.net.add_node(LinkParams { base_ns: m.net_base_ns, per_byte_ns: m.net_per_byte_ns });
-        let image = self.image.clone();
-        let mut w = make_worker(id, spec, &self.config, &image, self.thread_class);
-        // The joiner downloads the rewritten classes first (the paper's
-        // applet workers fetch them over HTTP).
-        if self.config.mode == Mode::JavaSplit {
-            let at = self.net.send(time, 0, id, self.class_bytes, jsplit_net::MsgKind::Control);
-            for c in &mut w.cpu_free {
-                *c = at;
-            }
-        }
-        // Late joiners also need the statics singletons (paper: new nodes
-        // join "simply by pointing a browser at the worker applet").
-        if self.config.mode == Mode::JavaSplit {
-            let singletons: Vec<(ClassId, u16, Gid, ClassId)> = {
-                let w0 = &mut self.workers[0];
-                image
-                    .classes
-                    .iter()
-                    .filter_map(|rc| {
-                        let slot = rc.static_names.iter().position(|n| &**n == STATICS_HOLDER)?;
-                        let Value::Ref(master) = w0.heap.get_static(rc.id, slot as u16) else {
-                            return None;
-                        };
-                        let gid = w0.heap.get(master).dsm.gid?;
-                        Some((rc.id, slot as u16, gid, w0.heap.get(master).class))
-                    })
-                    .collect()
-            };
-            for (class, slot, gid, comp) in singletons {
-                let local = w.env.js().dsm.ensure_cached(&mut w.heap, &image, gid, comp);
-                w.heap.set_static(class, slot, Value::Ref(local));
-            }
-        }
-        self.workers.push(w);
-        self.in_flight.push(0);
-        self.ops_per_node.push(0);
     }
 }
 
-fn make_worker(id: NodeId, spec: NodeSpec, config: &ClusterConfig, image: &Arc<Image>, thread_class: ClassId) -> Worker {
-    let model = spec.profile.cost_model();
-    let mut heap = Heap::new();
-    heap.init_statics(image);
-    let mut env = match config.mode {
-        Mode::Baseline => NodeEnv::Baseline(jsplit_mjvm::BaselineEnv::new(model, thread_class)),
-        Mode::JavaSplit => NodeEnv::Js(JsEnv::new(
-            model,
-            id,
-            DsmNode::new(
-                id,
-                DsmConfig {
-                    mode: config.protocol,
-                    disable_local_locks: config.disable_local_locks,
-                    array_chunk: config.array_chunk,
-                },
-            ),
-            thread_class,
-        )),
-    };
-    if config.trace.is_some() {
-        if let NodeEnv::Js(e) = &mut env {
-            e.dsm.trace = Some(Vec::new());
-        }
-    }
-    Worker {
-        id,
-        model,
-        heap,
-        env,
-        threads: Vec::new(),
-        free_slots: Vec::new(),
-        live: 0,
-        ready: VecDeque::new(),
-        cpu_free: vec![0; config.cpus_per_node],
-        cpu_busy: vec![false; config.cpus_per_node],
+impl Driver for Cluster {
+    fn run(self) -> RunReport {
+        Cluster::run(self)
     }
 }
 
-/// Convenience: configure-and-run in one call.
+/// Convenience: configure-and-run in one call, dispatching on the
+/// configured [`Backend`].
 pub fn run_cluster(config: ClusterConfig, program: &Program) -> Result<RunReport, ClusterError> {
-    Ok(Cluster::new(config, program)?.run())
+    match config.backend {
+        Backend::Sim => Ok(Cluster::new(config, program)?.run()),
+        Backend::Threads => Ok(crate::threads::ThreadsDriver::new(config, program)?.run()),
+    }
 }

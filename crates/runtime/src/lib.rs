@@ -1,11 +1,24 @@
 //! # jsplit-runtime — the JavaSplit distributed runtime
 //!
-//! Ties every substrate together into the system of the paper's Figure 1:
-//! a [`exec::Cluster`] administers a pool of worker nodes (paper §2), each
-//! with its own heap, its own MTS-HLRC engine and two virtual CPUs, all
-//! driven by one deterministic discrete-event scheduler whose virtual time
-//! advances by the per-instruction costs of each node's JVM-brand cost model
-//! and by the simulated network's message latencies.
+//! Ties every substrate together into the system of the paper's Figure 1,
+//! layered as *per-node runtime* / *driver* / *transport* (DESIGN.md §11):
+//!
+//! * [`node::NodeRuntime`] — everything that is per node in the paper's
+//!   sense (paper §2): its heap, its MTS-HLRC engine, its interpreter
+//!   threads and two virtual CPUs. It communicates only through an ordered
+//!   stream of effects (local events, protocol sends, thread ships).
+//! * A [`driver::Driver`] owns time and message delivery.
+//!   [`exec::Cluster`] is the reference **sim** driver: one deterministic
+//!   discrete-event scheduler whose virtual time advances by the
+//!   per-instruction costs of each node's JVM-brand cost model and by the
+//!   simulated network's message latencies. [`threads::ThreadsDriver`]
+//!   runs each node on its own OS thread under a conservative
+//!   barrier-windowed lookahead loop, shipping every protocol message as
+//!   encoded bytes over channels — same stdout, same virtual time, same
+//!   protocol counters, plus real parallel wall-clock speedup.
+//! * The `Transport` trait (`jsplit-net`) abstracts the wire: the
+//!   virtual-time `Network` for sim, a mesh of channel endpoints for
+//!   threads.
 //!
 //! Two execution modes:
 //!
@@ -18,16 +31,24 @@
 //!   shipped to nodes chosen by a plug-in load-balancing function (least
 //!   loaded by default, as in the paper).
 //!
-//! Worker nodes may join mid-execution ([`config::ClusterConfig::joins`]),
-//! and nodes of different JVM brands mix freely in one run (paper §6).
+//! Worker nodes may join mid-execution ([`config::ClusterConfig::joins`],
+//! sim backend only), and nodes of different JVM brands mix freely in one
+//! run (paper §6). Pick the backend with
+//! [`config::ClusterConfig::with_backend`] or `jsplit run --backend`.
 
 pub mod balance;
 pub mod config;
+pub mod driver;
 pub mod env;
 pub mod exec;
+pub mod node;
 pub mod report;
+pub mod threads;
 
 pub use balance::{Balancer, LoadBalancer};
-pub use config::{ClusterConfig, Mode, NodeSpec};
+pub use config::{Backend, ClusterConfig, Mode, NodeSpec};
+pub use driver::{ClusterError, Driver};
 pub use exec::Cluster;
+pub use node::NodeRuntime;
 pub use report::RunReport;
+pub use threads::ThreadsDriver;

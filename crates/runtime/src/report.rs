@@ -56,6 +56,11 @@ pub struct RunReport {
     /// Per-lock contention statistics derived from the trace (empty when
     /// tracing is off).
     pub lock_stats: Vec<LockStat>,
+    /// Host (real) time the driver spent executing the run. For the sim
+    /// backend this measures the simulator itself; for the threads backend
+    /// it is the wall-clock time of the parallel execution — the number the
+    /// live benchmarks report.
+    pub host_wall_secs: f64,
 }
 
 impl RunReport {

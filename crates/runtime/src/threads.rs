@@ -1,0 +1,515 @@
+//! The multi-threaded driver: each [`NodeRuntime`] on its own OS thread,
+//! protocol messages crossing channels as *encoded bytes* — the paper's
+//! actual deployment shape (§2: independent runtimes on commodity
+//! workstations exchanging messages), where the sim driver is its
+//! deterministic reference model.
+//!
+//! # Conservative virtual-time windows
+//!
+//! Virtual time is still the semantic clock (instruction costs, link
+//! latencies); only the *execution* is parallel. The classic conservative
+//! PDES argument applies: every cross-node message carries at least the
+//! sender's per-message base latency `W`, so an event processed at virtual
+//! time `t ≥ m` can only cause effects at other nodes at `t + W ≥ m + W`.
+//! Each round therefore:
+//!
+//! 1. drains inbound channels into the local event queue (sorted
+//!    deterministically by `(deliver, step, src, seq)`),
+//! 2. publishes per-node aggregates (earliest local event, live threads,
+//!    spawn counters, retired ops) and crosses a barrier,
+//! 3. derives the same global decision on every thread — finish, abort,
+//!    deadlock, or the next window `[m, m + W)` where `m` is the global
+//!    earliest event — and processes its local events inside the window in
+//!    parallel with every other node.
+//!
+//! Within a window nodes run concurrently on real CPUs (the wall-clock
+//! speedup), yet each node's virtual-time execution is identical to what
+//! the sequential simulator would do — program output and protocol
+//! counters match the sim backend (asserted by the cross-backend
+//! differential tests). The residual freedom is tie-ordering of *distinct
+//! nodes'* events at exactly equal virtual times, which the deterministic
+//! key resolves run-to-run reproducibly.
+//!
+//! Restrictions vs the sim driver: no mid-run joins, no tracing (both are
+//! sim-only for now), and the `max_ops` abort guard is enforced at window
+//! granularity rather than per event.
+
+use crate::balance::{BalancerState, LoadBalancer};
+use crate::config::{ClusterConfig, Mode};
+use crate::driver::{self, ClusterError, Driver, Prepared};
+use crate::env::CONSOLE_NODE;
+use crate::node::{Effect, LocalEv, NodeRuntime};
+use crate::report::RunReport;
+use jsplit_dsm::Msg;
+use jsplit_mjvm::heap::ThreadUid;
+use jsplit_mjvm::interp::{Frame, VmError};
+use jsplit_mjvm::loader::MethodId;
+use jsplit_mjvm::Value;
+use jsplit_net::{ChannelEndpoint, MeshSetup, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Per-node aggregates, written only by the owning thread between barriers
+/// and read by everyone after the next barrier.
+#[derive(Default)]
+struct NodeSlot {
+    /// Earliest local event time, `u64::MAX` if the queue is empty.
+    next_event: AtomicU64,
+    live: AtomicU64,
+    /// Cumulative `SpawnThread` messages sent / installed (their difference
+    /// is the cluster-wide in-flight count — the sim's `in_flight` sum).
+    spawns_sent: AtomicU64,
+    spawns_recv: AtomicU64,
+    ops: AtomicU64,
+}
+
+struct Shared {
+    slots: Vec<NodeSlot>,
+    barrier: Barrier,
+    /// Conservative window width: the minimum cross-node per-message base
+    /// latency (`u64::MAX` for a single node — one window runs everything).
+    window_ps: u64,
+    max_ops: u64,
+}
+
+/// What one node thread hands back when the run is over.
+struct NodeOutcome {
+    node: NodeRuntime,
+    endpoint: ChannelEndpoint,
+    errors: Vec<(ThreadUid, VmError)>,
+    deadlocked: bool,
+    aborted: bool,
+    /// Final length of the local event-payload slab (live-event bound).
+    slab_high_water: u64,
+}
+
+/// A node-local scheduled event (the per-node analogue of the sim driver's
+/// global queue entry).
+enum NodeEv {
+    Local(LocalEv),
+    Deliver { src: NodeId, msg: Msg },
+}
+
+/// Event-queue ordering key: `(time, step, lane, seq, slab index)`.
+type EvKey = (u64, u64, NodeId, u64, usize);
+
+/// One node's event loop state, running on a dedicated OS thread.
+struct NodeLoop {
+    node: NodeRuntime,
+    endpoint: ChannelEndpoint,
+    shared: Arc<Shared>,
+    mode: Mode,
+    thread_main: MethodId,
+    n_nodes: usize,
+    /// Strided uid allocation: `id + k·n` — disjoint from every other node
+    /// without global coordination. uids are fixed-width on the wire, so
+    /// message sizes (and byte counters) match the sim's dense allocation.
+    next_uid: ThreadUid,
+    lb: BalancerState,
+    /// `SpawnThread`s this node shipped per destination (the origin-local
+    /// load estimate: remote loads are what we shipped there).
+    shipped_to: Vec<u64>,
+    /// Self-shipped spawns not yet installed (counted into our own load).
+    self_inflight: u64,
+    spawns_sent: u64,
+    spawns_recv: u64,
+    /// Local event queue, deterministically ordered by
+    /// `(time, step, lane, seq)`: `step` is the virtual time of the event
+    /// that produced the entry, `lane` the producing node, `seq` a local
+    /// tie-breaker assigned in deterministic order.
+    events: BinaryHeap<Reverse<EvKey>>,
+    payloads: Vec<Option<NodeEv>>,
+    free_events: Vec<usize>,
+    seq: u64,
+    errors: Vec<(ThreadUid, VmError)>,
+    fx: Vec<Effect>,
+}
+
+impl NodeLoop {
+    fn push(&mut self, time: u64, step: u64, lane: NodeId, ev: NodeEv) {
+        let idx = match self.free_events.pop() {
+            Some(i) => {
+                self.payloads[i] = Some(ev);
+                i
+            }
+            None => {
+                self.payloads.push(Some(ev));
+                self.payloads.len() - 1
+            }
+        };
+        self.events.push(Reverse((time, step, lane, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn alloc_uid(&mut self) -> ThreadUid {
+        let uid = self.next_uid;
+        self.next_uid += self.n_nodes as ThreadUid;
+        uid
+    }
+
+    /// Execute a node's effect stream at processing step `step` (the
+    /// virtual time of the event being processed).
+    fn apply_effects(&mut self, step: u64) {
+        let mut fx = std::mem::take(&mut self.fx);
+        for f in fx.drain(..) {
+            match f {
+                Effect::Local { time, ev } => {
+                    let lane = self.endpoint.id;
+                    self.push(time, step, lane, NodeEv::Local(ev));
+                }
+                Effect::Send { at, dst, msg } => self.transmit(at, step, dst, msg),
+                Effect::Spawn { now, thread_obj, priority } => {
+                    self.dispatch_spawn(now, step, thread_obj, priority);
+                }
+                // Tracing is sim-only; the nodes are built with it off.
+                Effect::Trace { .. } | Effect::FlushTrace { .. } => unreachable!("tracing disabled under threads driver"),
+            }
+        }
+        self.fx = fx;
+    }
+
+    /// Encode, account and ship one protocol message at virtual `at`.
+    fn transmit(&mut self, at: u64, step: u64, dst: NodeId, msg: Msg) {
+        if matches!(msg, Msg::SpawnThread { .. }) {
+            self.spawns_sent += 1;
+        }
+        let payload = msg.encode();
+        let kind = msg.kind();
+        let (deliver, local) = self.endpoint.transmit(at, step, dst, kind, payload);
+        if let Some(wire) = local {
+            // Loopback: 1 µs is below any window width, so the delivery
+            // never crosses the mesh — it goes straight into our queue.
+            // Round-trip the codec anyway: the wire sees what a peer would.
+            self.endpoint.record_recv(wire.payload.len(), wire.kind);
+            let msg = Msg::decode(wire.payload).expect("loopback codec round-trip");
+            let lane = self.endpoint.id;
+            self.push(deliver, step, lane, NodeEv::Deliver { src: lane, msg });
+        }
+    }
+
+    /// Place a newly started thread (§2's load-balancing plug-in, with an
+    /// origin-local load estimate: own load = live + own in-flight, remote
+    /// load = spawns shipped there. Identical to the sim's global view as
+    /// long as remote threads neither exit nor spawn before placement
+    /// finishes — true for the fork-join apps; a future TCP backend would
+    /// gossip loads instead).
+    fn dispatch_spawn(&mut self, now: u64, step: u64, thread_obj: jsplit_mjvm::heap::ObjRef, priority: i32) {
+        let me = self.endpoint.id;
+        match self.mode {
+            Mode::Baseline => {
+                let uid = self.alloc_uid();
+                let image = self.node.image().clone();
+                let m = image.method(self.thread_main);
+                let frame = Frame::new(self.thread_main, m.max_locals, vec![Value::Ref(thread_obj)], false);
+                let mut fx = std::mem::take(&mut self.fx);
+                self.node.add_thread(uid, frame, Some(thread_obj), now, &mut fx);
+                self.fx = fx;
+                self.apply_effects(step);
+            }
+            Mode::JavaSplit => {
+                let loads: Vec<usize> = (0..self.n_nodes)
+                    .map(|i| {
+                        if i == me as usize {
+                            self.node.live() + self.self_inflight as usize
+                        } else {
+                            self.shipped_to[i] as usize
+                        }
+                    })
+                    .collect();
+                let dst = self.lb.pick(&loads, me);
+                self.shipped_to[dst as usize] += 1;
+                if dst == me {
+                    self.self_inflight += 1;
+                }
+                let msg = self.node.prepare_spawn(thread_obj, priority);
+                self.transmit(now, step, dst, msg);
+            }
+        }
+    }
+
+    /// Deliver one protocol message at virtual `time`.
+    fn deliver(&mut self, time: u64, src: NodeId, msg: Msg) {
+        match msg {
+            Msg::Println { line, .. } => self.node.push_console(line),
+            Msg::SpawnThread { thread_gid, class, state, priority } => {
+                self.spawns_recv += 1;
+                if src == self.endpoint.id {
+                    self.self_inflight = self.self_inflight.saturating_sub(1);
+                }
+                let uid = self.alloc_uid();
+                let mut fx = std::mem::take(&mut self.fx);
+                self.node
+                    .install_spawned_thread(uid, thread_gid, class, &state, priority, self.thread_main, time, &mut fx);
+                self.fx = fx;
+                self.apply_effects(time);
+            }
+            other => {
+                let mut fx = std::mem::take(&mut self.fx);
+                self.node.handle_dsm(time, other, &mut fx);
+                self.fx = fx;
+                self.apply_effects(time);
+            }
+        }
+    }
+
+    /// Drain inbound channels into the local queue, deterministically:
+    /// arrival interleaving across senders is scheduler noise, so sort by
+    /// the virtual-time key before assigning local sequence numbers.
+    fn drain_inbox(&mut self) {
+        let mut batch = Vec::new();
+        while let Some(wire) = self.endpoint.try_recv() {
+            batch.push(wire);
+        }
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_key(|w| (w.deliver_ps, w.step_ps, w.src, w.seq));
+        for wire in batch {
+            let msg = Msg::decode(wire.payload).expect("wire codec round-trip");
+            self.push(wire.deliver_ps, wire.step_ps, wire.src, NodeEv::Deliver { src: wire.src, msg });
+        }
+    }
+
+    /// The thread body: rounds of drain → publish → barrier → decide →
+    /// process-window, until the cluster-wide decision says stop.
+    fn run(mut self) -> NodeOutcome {
+        let me = self.endpoint.id as usize;
+        let shared = self.shared.clone();
+        let n = shared.slots.len();
+        let mut deadlocked = false;
+        let mut aborted = false;
+        loop {
+            // B1: every send of the previous round is in its channel.
+            shared.barrier.wait();
+            self.drain_inbox();
+            let slot = &shared.slots[me];
+            let next = self.events.peek().map_or(u64::MAX, |Reverse((t, ..))| *t);
+            slot.next_event.store(next, Ordering::Relaxed);
+            slot.live.store(self.node.live() as u64, Ordering::Relaxed);
+            slot.spawns_sent.store(self.spawns_sent, Ordering::Relaxed);
+            slot.spawns_recv.store(self.spawns_recv, Ordering::Relaxed);
+            slot.ops.store(self.node.ops, Ordering::Relaxed);
+            // B2: every slot is published; each thread now derives the same
+            // global decision from the same values.
+            shared.barrier.wait();
+            let mut live = 0u64;
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            let mut ops = 0u64;
+            let mut min_next = u64::MAX;
+            for s in &shared.slots {
+                live += s.live.load(Ordering::Relaxed);
+                sent += s.spawns_sent.load(Ordering::Relaxed);
+                recv += s.spawns_recv.load(Ordering::Relaxed);
+                ops += s.ops.load(Ordering::Relaxed);
+                min_next = min_next.min(s.next_event.load(Ordering::Relaxed));
+            }
+            // Spawned-but-undelivered threads count as live: a main that
+            // exits immediately after `start()` must not end the run.
+            if live == 0 && sent == recv {
+                break;
+            }
+            if ops > shared.max_ops {
+                aborted = true;
+                break;
+            }
+            if min_next == u64::MAX {
+                // Live threads, no scheduled events anywhere, empty
+                // channels (anything sent last round was just drained):
+                // nothing can ever run again.
+                deadlocked = true;
+                break;
+            }
+            // Process the window [min_next, min_next + W): no message sent
+            // at t ≥ min_next can arrive before min_next + W, so the local
+            // queue already holds everything this window needs. n == 1
+            // degenerates to one unbounded window.
+            let horizon = if n == 1 { u64::MAX } else { min_next.saturating_add(shared.window_ps) };
+            while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
+                if time >= horizon {
+                    break;
+                }
+                self.events.pop();
+                let ev = self.payloads[idx].take().expect("event payload");
+                self.free_events.push(idx);
+                match ev {
+                    NodeEv::Local(LocalEv::Slice { cpu, thread }) => {
+                        let mut fx = std::mem::take(&mut self.fx);
+                        let r = self.node.run_slice(time, cpu, thread, &mut fx);
+                        self.fx = fx;
+                        if let Some(e) = r.error {
+                            self.errors.push((thread, e));
+                        }
+                        self.apply_effects(time);
+                    }
+                    NodeEv::Local(LocalEv::Wake { thread }) => {
+                        let mut fx = std::mem::take(&mut self.fx);
+                        self.node.make_ready(thread, time, &mut fx);
+                        self.fx = fx;
+                        self.apply_effects(time);
+                    }
+                    NodeEv::Deliver { src, msg } => self.deliver(time, src, msg),
+                }
+            }
+        }
+        NodeOutcome {
+            slab_high_water: self.payloads.len() as u64,
+            node: self.node,
+            endpoint: self.endpoint,
+            errors: self.errors,
+            deadlocked,
+            aborted,
+        }
+    }
+}
+
+/// The multi-threaded backend.
+pub struct ThreadsDriver {
+    config: ClusterConfig,
+    prepared: Prepared,
+    nodes: Vec<NodeRuntime>,
+    endpoints: Vec<ChannelEndpoint>,
+    setup_ps: u64,
+}
+
+impl ThreadsDriver {
+    /// Prepare a run: rewrite, load, build the channel mesh and the node
+    /// runtimes, ship classes, bootstrap statics — the same setup sequence
+    /// as the sim driver, against the channel transport.
+    pub fn new(config: ClusterConfig, program: &jsplit_mjvm::class::Program) -> Result<ThreadsDriver, ClusterError> {
+        if !config.joins.is_empty() {
+            return Err(ClusterError::Config("mid-run joins require the sim backend".into()));
+        }
+        if config.trace.is_some() {
+            return Err(ClusterError::Config("tracing requires the sim backend".into()));
+        }
+        let prepared = driver::prepare(&config, program)?;
+        let links: Vec<_> = config.nodes.iter().map(|s| driver::link_params(*s)).collect();
+        let mut endpoints = ChannelEndpoint::mesh(&links);
+        let mut nodes: Vec<NodeRuntime> = config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| NodeRuntime::new(i as NodeId, *spec, &config, prepared.image.clone(), prepared.thread_class))
+            .collect();
+        let mut setup_ps = 0;
+        if config.mode == Mode::JavaSplit {
+            for i in 1..nodes.len() {
+                let at = driver::ship_classes(&mut MeshSetup(&mut endpoints), 0, i as NodeId, prepared.class_bytes);
+                setup_ps = setup_ps.max(at);
+            }
+            driver::bootstrap_statics(&mut nodes, &prepared.image);
+        }
+        Ok(ThreadsDriver { config, prepared, nodes, endpoints, setup_ps })
+    }
+
+    /// Run to completion: one OS thread per node, then merge the outcomes
+    /// into the same [`RunReport`] shape the sim driver produces.
+    pub fn run(self) -> RunReport {
+        let started = std::time::Instant::now();
+        let n = self.nodes.len();
+        // The window is bounded by the *cheapest sender's* base latency:
+        // any cross-node message costs at least that much.
+        let window_ps = self
+            .config
+            .nodes
+            .iter()
+            .map(|s| s.profile.cost_model().net_base_ns * 1_000)
+            .min()
+            .unwrap_or(u64::MAX);
+        let shared = Arc::new(Shared {
+            slots: (0..n).map(|_| NodeSlot::default()).collect(),
+            barrier: Barrier::new(n),
+            window_ps,
+            max_ops: self.config.max_ops,
+        });
+        let mode = self.config.mode;
+        let thread_main = self.prepared.thread_main;
+        let main_method = self.prepared.image.main_method;
+        let main_locals = self.prepared.image.method(main_method).max_locals;
+        let balancer = self.config.balancer;
+
+        let mut handles = Vec::with_capacity(n);
+        for (node, endpoint) in self.nodes.into_iter().zip(self.endpoints) {
+            let shared = shared.clone();
+            let mut lp = NodeLoop {
+                next_uid: node.id as ThreadUid,
+                node,
+                endpoint,
+                shared,
+                mode,
+                thread_main,
+                n_nodes: n,
+                lb: BalancerState::new(balancer),
+                shipped_to: vec![0; n],
+                self_inflight: 0,
+                spawns_sent: 0,
+                spawns_recv: 0,
+                events: BinaryHeap::new(),
+                payloads: Vec::new(),
+                free_events: Vec::new(),
+                seq: 0,
+                errors: Vec::new(),
+                fx: Vec::new(),
+            };
+            handles.push(std::thread::spawn(move || {
+                // The main thread starts on worker 0 (§2), before the first
+                // round so the first published snapshot already counts it.
+                if lp.endpoint.id == CONSOLE_NODE {
+                    let uid = lp.alloc_uid();
+                    let frame = Frame::new(main_method, main_locals, vec![], false);
+                    let mut fx = std::mem::take(&mut lp.fx);
+                    lp.node.add_thread(uid, frame, None, 0, &mut fx);
+                    lp.fx = fx;
+                    lp.apply_effects(0);
+                }
+                lp.run()
+            }));
+        }
+        let mut outcomes: Vec<NodeOutcome> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        outcomes.sort_by_key(|o| o.node.id);
+
+        let host_wall_secs = started.elapsed().as_secs_f64();
+        let deadlocked = outcomes[0].deadlocked;
+        let aborted = outcomes[0].aborted;
+        let mut errors: Vec<(ThreadUid, VmError)> = Vec::new();
+        let mut console = Vec::new();
+        for o in &mut outcomes {
+            errors.append(&mut o.errors);
+            if o.node.id == CONSOLE_NODE {
+                console = o.node.take_console();
+            }
+        }
+        RunReport {
+            exec_time_ps: outcomes.iter().map(|o| o.node.finish_time).max().unwrap_or(0),
+            output: console,
+            errors,
+            deadlocked,
+            aborted,
+            ops: outcomes.iter().map(|o| o.node.ops).sum(),
+            threads: outcomes.iter().map(|o| o.node.spawned_here).sum(),
+            net_per_node: outcomes.iter().map(|o| o.endpoint.stats.clone()).collect(),
+            dsm_per_node: outcomes.iter().filter_map(|o| o.node.dsm_stats()).collect(),
+            rewrite: self.prepared.rewrite,
+            setup_ps: self.setup_ps,
+            class_bytes: self.prepared.class_bytes as u64,
+            event_slab_high_water: outcomes.iter().map(|o| o.slab_high_water).max().unwrap_or(0),
+            ops_per_node: outcomes.iter().map(|o| o.node.ops).collect(),
+            trace: None,
+            breakdown: Vec::new(),
+            lock_stats: Vec::new(),
+            host_wall_secs,
+        }
+    }
+}
+
+impl Driver for ThreadsDriver {
+    fn run(self) -> RunReport {
+        ThreadsDriver::run(self)
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-backend differential tests: the multi-threaded driver must be
+//! observationally equivalent to the reference virtual-time simulator.
+//!
+//! The threads backend runs each node on its own OS thread and moves every
+//! protocol message as *encoded bytes* across a channel, synchronized by
+//! conservative virtual-time windows. If its windowing, message merge
+//! order, uid allocation, or load-balance placement diverged from the sim
+//! driver in any observable way, these tests catch it: program stdout,
+//! virtual execution time, instruction counts, per-node DSM protocol
+//! counters, and per-node network message/byte totals must all match
+//! exactly, on all three paper applications, in both protocol modes.
+//! (Host wall-clock is the one field allowed to differ — that is the
+//! point of the backend.)
+
+use jsplit_dsm::ProtocolMode;
+use jsplit_mjvm::class::Program;
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_runtime::exec::run_cluster;
+use jsplit_runtime::{Backend, ClusterConfig, RunReport};
+
+fn apps() -> Vec<(&'static str, Program)> {
+    use jsplit_apps::{raytracer, series, tsp};
+    vec![
+        ("tsp", tsp::program(tsp::TspParams { n: 8, seed: 42, depth: 2, threads: 8 })),
+        ("series", series::program(series::SeriesParams { n: 16, intervals: 40, threads: 8 })),
+        ("raytracer", raytracer::program(raytracer::RayParams { size: 16, grid: 2, threads: 8 })),
+    ]
+}
+
+fn run(backend: Backend, proto: ProtocolMode, nodes: usize, p: &Program) -> RunReport {
+    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, nodes)
+        .with_protocol(proto)
+        .with_backend(backend);
+    let r = run_cluster(cfg, p).expect("cluster setup");
+    r.expect_clean();
+    r
+}
+
+/// Everything observable about a run except host wall-clock (and the
+/// event-slab high-water mark, which measures driver internals — the two
+/// drivers legitimately have different queue shapes).
+fn assert_reports_match(app: &str, proto: ProtocolMode, sim: &RunReport, thr: &RunReport) {
+    let ctx = format!("{app} ({proto:?})");
+    assert_eq!(sim.output, thr.output, "{ctx}: stdout diverged");
+    assert_eq!(sim.exec_time_ps, thr.exec_time_ps, "{ctx}: virtual time diverged");
+    assert_eq!(sim.setup_ps, thr.setup_ps, "{ctx}: setup time diverged");
+    assert_eq!(sim.ops, thr.ops, "{ctx}: total ops diverged");
+    assert_eq!(sim.ops_per_node, thr.ops_per_node, "{ctx}: per-node ops diverged");
+    assert_eq!(sim.threads, thr.threads, "{ctx}: thread count diverged");
+    assert_eq!(sim.class_bytes, thr.class_bytes, "{ctx}: shipped class bytes diverged");
+    assert_eq!(sim.dsm_per_node, thr.dsm_per_node, "{ctx}: per-node DSM stats diverged");
+    assert_eq!(sim.net_per_node, thr.net_per_node, "{ctx}: per-node net stats diverged");
+}
+
+#[test]
+fn threads_backend_matches_sim_on_all_apps_both_protocols() {
+    for (app, p) in &apps() {
+        for proto in [ProtocolMode::MtsHlrc, ProtocolMode::ClassicHlrc] {
+            let sim = run(Backend::Sim, proto, 4, p);
+            let thr = run(Backend::Threads, proto, 4, p);
+            assert_reports_match(app, proto, &sim, &thr);
+        }
+    }
+}
+
+/// The conservative-window merge must make the threads backend
+/// deterministic on its own terms: two runs of the same program produce
+/// identical reports, regardless of OS scheduling.
+#[test]
+fn threads_backend_is_deterministic() {
+    let (_, p) = apps().swap_remove(0); // tsp: the most placement-sensitive app
+    let a = run(Backend::Threads, ProtocolMode::MtsHlrc, 8, &p);
+    let b = run(Backend::Threads, ProtocolMode::MtsHlrc, 8, &p);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.exec_time_ps, b.exec_time_ps);
+    assert_eq!(a.ops_per_node, b.ops_per_node);
+    assert_eq!(a.net_per_node, b.net_per_node);
+    assert_eq!(a.dsm_per_node, b.dsm_per_node);
+}
+
+/// Single-node threads runs take the horizon=∞ fast path (no windowing);
+/// they must still match the sim driver exactly.
+#[test]
+fn threads_backend_matches_sim_single_node() {
+    let (_, p) = apps().swap_remove(0);
+    let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, 1, &p);
+    let thr = run(Backend::Threads, ProtocolMode::MtsHlrc, 1, &p);
+    assert_reports_match("tsp-1node", ProtocolMode::MtsHlrc, &sim, &thr);
+}
+
+/// The threads driver cannot honour mid-run joins or event tracing; both
+/// must be rejected up front as configuration errors, not silently ignored.
+#[test]
+fn threads_backend_rejects_unsupported_config() {
+    use jsplit_runtime::NodeSpec;
+    let (_, p) = apps().swap_remove(0);
+
+    let joins = ClusterConfig::javasplit(JvmProfile::SunSim, 2)
+        .with_backend(Backend::Threads)
+        .with_joins(vec![(1_000_000, NodeSpec::sun())]);
+    assert!(run_cluster(joins, &p).is_err(), "mid-run joins must be rejected");
+
+    let traced = ClusterConfig::javasplit(JvmProfile::SunSim, 2)
+        .with_backend(Backend::Threads)
+        .with_trace(jsplit_trace::TraceMode::Full);
+    assert!(run_cluster(traced, &p).is_err(), "tracing must be rejected");
+}

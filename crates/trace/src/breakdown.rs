@@ -108,10 +108,10 @@ pub fn node_breakdown(events: &[Event], cpus_per_node: &[u32], horizon: Ps) -> V
                     push(&mut deltas, node, start, e.t, bucket);
                 }
             }
-            TraceEvent::AckWaitBegin { node } => {
-                if (node as usize) < nodes && open_ack[node as usize].is_none() {
-                    open_ack[node as usize] = Some(e.t);
-                }
+            TraceEvent::AckWaitBegin { node }
+                if (node as usize) < nodes && open_ack[node as usize].is_none() =>
+            {
+                open_ack[node as usize] = Some(e.t);
             }
             TraceEvent::AckWaitEnd { node } => {
                 if let Some(start) = open_ack.get_mut(node as usize).and_then(|s| s.take()) {

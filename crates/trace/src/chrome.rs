@@ -26,10 +26,11 @@ fn us(ps: Ps) -> String {
     format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_event(out: &mut String, ph: char, name: &str, cat: &str, pid: NodeId, tid: u64, ts: Ps, extra: &str) {
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{{\"ph\":\"{}\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}{}}},\n",
+        "{{\"ph\":\"{}\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}{}}},",
         ph,
         name,
         cat,
@@ -74,23 +75,23 @@ pub fn chrome_trace(events: &[Event]) -> String {
 
     // Metadata: process and thread names.
     for &node in &nodes {
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"args\":{{\"name\":\"node {}\"}}}},\n",
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"args\":{{\"name\":\"node {}\"}}}},",
             node, node
         );
         for (tid, label) in [(NET_TID, "net-out"), (DSM_TID, "dsm")] {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},\n",
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},",
                 node, tid, label
             );
         }
     }
     for &(node, thread) in threads.keys() {
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"thread {}\"}}}},\n",
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"thread {}\"}}}},",
             node, thread, thread
         );
     }
@@ -225,9 +226,9 @@ pub fn chrome_trace(events: &[Event]) -> String {
     }
 
     // Closing sentinel avoids trailing-comma bookkeeping at every emit site.
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{{\"ph\":\"M\",\"name\":\"trace_done\",\"pid\":0,\"args\":{{\"events\":{}}}}}\n",
+        "{{\"ph\":\"M\",\"name\":\"trace_done\",\"pid\":0,\"args\":{{\"events\":{}}}}}",
         events.len()
     );
     out.push_str("]}\n");

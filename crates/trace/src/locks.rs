@@ -29,11 +29,7 @@ pub struct LockStat {
 impl LockStat {
     /// Mean request→acquire latency in picoseconds (0 if never measured).
     pub fn mean_wait_ps(&self) -> u64 {
-        if self.acquires == 0 {
-            0
-        } else {
-            self.total_wait_ps / self.acquires
-        }
+        self.total_wait_ps.checked_div(self.acquires).unwrap_or(0)
     }
 }
 
@@ -46,14 +42,14 @@ pub fn lock_contention(events: &[Event]) -> Vec<LockStat> {
 
     for e in events {
         match e.ev {
-            TraceEvent::LockRequest { node, gid, thread } => {
-                if pending.insert((gid, node, thread), e.t).is_none() {
-                    let d = depth.entry(gid).or_insert(0);
-                    *d += 1;
-                    let s = stats.entry(gid).or_default();
-                    s.gid = gid;
-                    s.max_queue = s.max_queue.max(*d);
-                }
+            TraceEvent::LockRequest { node, gid, thread }
+                if pending.insert((gid, node, thread), e.t).is_none() =>
+            {
+                let d = depth.entry(gid).or_insert(0);
+                *d += 1;
+                let s = stats.entry(gid).or_default();
+                s.gid = gid;
+                s.max_queue = s.max_queue.max(*d);
             }
             TraceEvent::LockAcquire { node, gid, thread } => {
                 let s = stats.entry(gid).or_default();

@@ -12,6 +12,8 @@ impl Rng {
         Rng(seed | 1)
     }
 
+    // Same name as upstream proptest's RNG surface; Rng is not an Iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;
