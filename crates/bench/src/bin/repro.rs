@@ -9,11 +9,12 @@
 //! Sections: `table1`, `table2`, `table3`, `table4`, `ablation`, `mixed`
 //! (the §6 heterogeneous-cluster and mid-run-join demonstrations), `all`.
 //!
-//! `repro perf [--smoke] [--backend sim|threads]` is separate from `all`:
-//! it measures *host* wall-clock and ops/sec (nondeterministic) and writes
-//! `BENCH_PERF.json` at the repo root — or, with `--backend threads`,
-//! real-parallel-execution numbers (one OS thread per node) plus the
-//! 8-vs-1-node TSP speedup to `BENCH_LIVE.json`.
+//! `repro perf [--smoke] [--backend sim|threads] [--lookahead global|per_pair]
+//! [--no-batch]` is separate from `all`: it measures *host* wall-clock and
+//! ops/sec (nondeterministic) and writes `BENCH_PERF.json` at the repo root
+//! — or, with `--backend threads`, real-parallel-execution numbers (one OS
+//! thread per node) with per-app 8-vs-1-node speedups and synchronization
+//! counters to `BENCH_LIVE.json`.
 //!
 //! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
@@ -22,7 +23,7 @@
 use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, ClusterConfig, NodeSpec};
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, NodeSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,20 +46,30 @@ fn main() {
                 }
             },
         };
-        let pts = perf::run(smoke, backend);
+        let lookahead = match args.iter().position(|a| a == "--lookahead") {
+            None => Lookahead::default(),
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("global") => Lookahead::Global,
+                Some("per_pair") => Lookahead::PerPair,
+                other => {
+                    eprintln!("repro perf: unknown --lookahead {other:?} (want global|per_pair)");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let wire_batch = !args.iter().any(|a| a == "--no-batch");
+        let pts = perf::run(smoke, backend, lookahead, wire_batch);
         print!("{}", perf::render(&pts));
-        let speedup = (backend == Backend::Threads).then(|| {
-            let wall_8 = pts[0].wall_secs; // tsp is workload 0
-            let sp = perf::live_speedup(smoke, wall_8);
+        let speedup = perf::live_speedup(&pts);
+        if let Some(sp) = &speedup {
             println!(
                 "tsp live speedup: 1 node {:.3}s / 8 nodes {:.3}s = {:.2}x",
                 sp.wall_1node_secs,
                 sp.wall_8node_secs,
                 sp.speedup()
             );
-            sp
-        });
-        match perf::write_json(&pts, smoke, backend, speedup.as_ref()) {
+        }
+        match perf::write_json(&pts, smoke, backend, lookahead, wire_batch, speedup.as_ref()) {
             Ok(path) => println!("\nwrote {}", path.display()),
             Err(e) => eprintln!("\nfailed to write perf json: {e}"),
         }

@@ -7,8 +7,10 @@
 //! SunSim cluster). With the default sim backend that is simulator
 //! throughput, written to `BENCH_PERF.json`; with `--backend threads` each
 //! node runs on its own OS thread and the numbers are real parallel
-//! execution, written to `BENCH_LIVE.json` — including the 8-node vs 1-node
-//! TSP speedup, the live analogue of the paper's Figure 3.
+//! execution, written to `BENCH_LIVE.json` — including, per app, the
+//! 8-node vs 1-node wall-clock speedup (the live analogue of the paper's
+//! Figure 3) and the synchronization-layer counters (windows, barrier
+//! waits, message batching).
 //!
 //! Deliberately *not* part of `repro all`: wall-clock numbers are
 //! host-dependent and nondeterministic, and `repro all` output is used as a
@@ -21,7 +23,7 @@ use std::time::Instant;
 use crate::measure::{render_table, run_clean};
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
-use jsplit_runtime::{Backend, ClusterConfig};
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, SyncStats};
 
 /// One measured workload.
 pub struct PerfPoint {
@@ -38,6 +40,18 @@ pub struct PerfPoint {
     pub msgs_sent: u64,
     /// Peak simultaneously-live scheduler events (slab length).
     pub event_slab_high_water: u64,
+    /// Same workload on a 1-node cluster, same backend (threads runs only:
+    /// the denominator of the live speedup).
+    pub wall_1node_secs: Option<f64>,
+    /// Threads-backend synchronization counters (zero under sim).
+    pub sync: SyncStats,
+}
+
+impl PerfPoint {
+    /// Live wall-clock speedup vs the 1-node run (threads backend only).
+    pub fn speedup(&self) -> Option<f64> {
+        self.wall_1node_secs.map(|w1| w1 / self.wall_secs.max(1e-9))
+    }
 }
 
 const NODES: usize = 8;
@@ -62,14 +76,27 @@ fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
 }
 
 /// Run all workloads on the fixed cluster configuration with the given
-/// execution backend.
-pub fn run(smoke: bool, backend: Backend) -> Vec<PerfPoint> {
+/// execution backend. Threads runs also measure each workload on a 1-node
+/// cluster for the per-app live speedup.
+pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool) -> Vec<PerfPoint> {
     let mut out = Vec::new();
     for (app, p) in workloads(smoke) {
+        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
+            .with_backend(backend)
+            .with_lookahead(lookahead)
+            .with_wire_batch(wire_batch);
         let t0 = Instant::now();
-        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES).with_backend(backend);
         let r = run_clean(cfg, &p);
         let wall = t0.elapsed().as_secs_f64();
+        let wall_1node_secs = (backend == Backend::Threads).then(|| {
+            let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1)
+                .with_backend(backend)
+                .with_lookahead(lookahead)
+                .with_wire_batch(wire_batch);
+            let t0 = Instant::now();
+            run_clean(cfg, &p);
+            t0.elapsed().as_secs_f64()
+        });
         out.push(PerfPoint {
             app,
             wall_secs: wall,
@@ -78,13 +105,15 @@ pub fn run(smoke: bool, backend: Backend) -> Vec<PerfPoint> {
             virtual_secs: r.exec_time_secs(),
             msgs_sent: r.net_total().msgs_sent,
             event_slab_high_water: r.event_slab_high_water,
+            wall_1node_secs,
+            sync: r.sync,
         });
     }
     out
 }
 
-/// 8-node vs 1-node wall-clock on the TSP workload — only meaningful for
-/// the threads backend, where nodes execute on real OS threads in parallel.
+/// 8-node vs 1-node wall-clock on the TSP workload — the headline live
+/// number (threads backend), kept as its own JSON key for baseline diffs.
 pub struct LiveSpeedup {
     pub wall_1node_secs: f64,
     pub wall_8node_secs: f64,
@@ -96,13 +125,11 @@ impl LiveSpeedup {
     }
 }
 
-/// Measure the live 8-vs-1-node TSP speedup on the threads backend.
-pub fn live_speedup(smoke: bool, wall_8node_secs: f64) -> LiveSpeedup {
-    let (_, p) = workloads(smoke).swap_remove(0); // tsp
-    let t0 = Instant::now();
-    let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1).with_backend(Backend::Threads);
-    run_clean(cfg, &p);
-    LiveSpeedup { wall_1node_secs: t0.elapsed().as_secs_f64(), wall_8node_secs }
+/// Derive the headline TSP speedup from an already-measured point set.
+pub fn live_speedup(pts: &[PerfPoint]) -> Option<LiveSpeedup> {
+    pts.iter().find(|p| p.app == "tsp").and_then(|p| {
+        p.wall_1node_secs.map(|w1| LiveSpeedup { wall_1node_secs: w1, wall_8node_secs: p.wall_secs })
+    })
 }
 
 pub fn render(pts: &[PerfPoint]) -> String {
@@ -117,12 +144,15 @@ pub fn render(pts: &[PerfPoint]) -> String {
                 format!("{:.4}", p.virtual_secs),
                 p.msgs_sent.to_string(),
                 p.event_slab_high_water.to_string(),
+                p.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
+                if p.sync.windows == 0 { "-".into() } else { p.sync.windows.to_string() },
+                if p.sync.windows == 0 { "-".into() } else { p.sync.msgs_batched().to_string() },
             ]
         })
         .collect();
     render_table(
         &format!("Host performance — js{NODES}(sun), fixed seeds"),
-        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw"],
+        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw", "spdup", "windows", "batched"],
         &rows,
     )
 }
@@ -130,7 +160,14 @@ pub fn render(pts: &[PerfPoint]) -> String {
 /// Serialize to the `BENCH_PERF.json` / `BENCH_LIVE.json` schema
 /// (hand-rolled: every field is a number or plain string, no escaping
 /// needed).
-pub fn to_json(pts: &[PerfPoint], smoke: bool, backend: Backend, speedup: Option<&LiveSpeedup>) -> String {
+pub fn to_json(
+    pts: &[PerfPoint],
+    smoke: bool,
+    backend: Backend,
+    lookahead: Lookahead,
+    wire_batch: bool,
+    speedup: Option<&LiveSpeedup>,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!(
@@ -140,6 +177,14 @@ pub fn to_json(pts: &[PerfPoint], smoke: bool, backend: Backend, speedup: Option
             Backend::Threads => "threads",
         }
     ));
+    s.push_str(&format!(
+        "  \"lookahead\": \"{}\",\n",
+        match lookahead {
+            Lookahead::Global => "global",
+            Lookahead::PerPair => "per_pair",
+        }
+    ));
+    s.push_str(&format!("  \"wire_batch\": {wire_batch},\n"));
     s.push_str(&format!(
         "  \"config\": \"javasplit {NODES} nodes, SunSim profile, 16 app threads\",\n"
     ));
@@ -153,9 +198,15 @@ pub fn to_json(pts: &[PerfPoint], smoke: bool, backend: Backend, speedup: Option
     }
     s.push_str("  \"results\": [\n");
     for (i, p) in pts.iter().enumerate() {
+        let live = match (p.wall_1node_secs, p.speedup()) {
+            (Some(w1), Some(sp)) => format!(", \"wall_1node_secs\": {w1:.6}, \"speedup\": {sp:.3}"),
+            _ => String::new(),
+        };
         s.push_str(&format!(
             "    {{\"app\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
-             \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}}}{}\n",
+             \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}{}, \
+             \"windows\": {}, \"barrier_waits\": {}, \"frames_sent\": {}, \"msgs_framed\": {}, \
+             \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}}}{}\n",
             p.app,
             p.wall_secs,
             p.ops,
@@ -163,6 +214,13 @@ pub fn to_json(pts: &[PerfPoint], smoke: bool, backend: Backend, speedup: Option
             p.virtual_secs,
             p.msgs_sent,
             p.event_slab_high_water,
+            live,
+            p.sync.windows,
+            p.sync.barrier_waits,
+            p.sync.frames_sent,
+            p.sync.msgs_framed,
+            p.sync.msgs_batched(),
+            p.sync.bytes_per_frame_avg(),
             if i + 1 < pts.len() { "," } else { "" },
         ));
     }
@@ -176,6 +234,8 @@ pub fn write_json(
     pts: &[PerfPoint],
     smoke: bool,
     backend: Backend,
+    lookahead: Lookahead,
+    wire_batch: bool,
     speedup: Option<&LiveSpeedup>,
 ) -> std::io::Result<PathBuf> {
     let file = match backend {
@@ -184,7 +244,7 @@ pub fn write_json(
     };
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(to_json(pts, smoke, backend, speedup).as_bytes())?;
+    f.write_all(to_json(pts, smoke, backend, lookahead, wire_batch, speedup).as_bytes())?;
     Ok(path.canonicalize().unwrap_or(path))
 }
 
@@ -202,17 +262,50 @@ mod tests {
             virtual_secs: 0.4,
             msgs_sent: 12,
             event_slab_high_water: 9,
+            wall_1node_secs: Some(6.0),
+            sync: SyncStats { windows: 10, barrier_waits: 80, frames_sent: 4, frame_bytes: 400, msgs_framed: 14 },
         }];
-        let sp = LiveSpeedup { wall_1node_secs: 4.0, wall_8node_secs: 1.0 };
-        let j = to_json(&pts, true, Backend::Threads, Some(&sp));
+        let sp = live_speedup(&pts).expect("tsp point carries 1-node wall");
+        let j = to_json(&pts, true, Backend::Threads, Lookahead::PerPair, true, Some(&sp));
         assert!(j.contains("\"smoke\": true"));
         assert!(j.contains("\"backend\": \"threads\""));
+        assert!(j.contains("\"lookahead\": \"per_pair\""));
+        assert!(j.contains("\"wire_batch\": true"));
         assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"app\": \"tsp\""));
         assert!(j.contains("\"event_slab_high_water\": 9"));
+        assert!(j.contains("\"wall_1node_secs\": 6.000000"));
+        assert!(j.contains("\"windows\": 10"));
+        assert!(j.contains("\"barrier_waits\": 80"));
+        assert!(j.contains("\"frames_sent\": 4"));
+        assert!(j.contains("\"msgs_framed\": 14"));
+        assert!(j.contains("\"msgs_batched\": 10"));
+        assert!(j.contains("\"bytes_per_frame_avg\": 100.0"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON dependency.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sim_points_omit_live_fields() {
+        let pts = vec![PerfPoint {
+            app: "series",
+            wall_secs: 1.0,
+            ops: 10,
+            ops_per_sec: 10.0,
+            virtual_secs: 0.1,
+            msgs_sent: 2,
+            event_slab_high_water: 3,
+            wall_1node_secs: None,
+            sync: SyncStats::default(),
+        }];
+        assert!(pts[0].speedup().is_none());
+        assert!(live_speedup(&pts).is_none());
+        let j = to_json(&pts, false, Backend::Sim, Lookahead::default(), true, None);
+        assert!(!j.contains("tsp_speedup"));
+        assert!(!j.contains("wall_1node_secs"));
+        assert!(j.contains("\"windows\": 0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

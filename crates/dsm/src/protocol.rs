@@ -2,6 +2,7 @@
 //! the custom codec (messages really are serialized and deserialized, so
 //! their simulated sizes are the honest encoded sizes).
 
+use bytes::Buf;
 use jsplit_net::codec::{CodecError, Reader, Writer};
 use jsplit_net::{MsgKind, NodeId};
 use jsplit_mjvm::heap::{Gid, ThreadUid};
@@ -82,7 +83,7 @@ impl Requirement {
         }
     }
 
-    fn decode(r: &mut Reader) -> Result<Requirement, CodecError> {
+    fn decode<B: Buf>(r: &mut Reader<B>) -> Result<Requirement, CodecError> {
         let scalar = r.u32()?;
         let n = r.varu()? as usize;
         let mut vector = HashMap::with_capacity(n);
@@ -186,7 +187,7 @@ impl WireState {
         }
     }
 
-    fn decode(r: &mut Reader) -> Result<WireState, CodecError> {
+    fn decode<B: Buf>(r: &mut Reader<B>) -> Result<WireState, CodecError> {
         Ok(match r.u8()? {
             0 => {
                 let n = r.varu()? as usize;
@@ -237,7 +238,7 @@ fn encode_wire_value(w: &mut Writer, v: &WVal) {
     }
 }
 
-fn decode_wire_value(r: &mut Reader) -> Result<WVal, CodecError> {
+fn decode_wire_value<B: Buf>(r: &mut Reader<B>) -> Result<WVal, CodecError> {
     Ok(match r.u8()? {
         0 => WVal::I32(r.i32()?),
         1 => WVal::I64(r.i64()?),
@@ -335,6 +336,12 @@ impl Msg {
     /// Encode to wire bytes.
     pub fn encode(&self) -> bytes::Bytes {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Encode into a caller-provided writer (reusable frame/pool buffers).
+    pub fn encode_into(&self, w: &mut Writer) {
         match self {
             Msg::LockReq { lock, node, thread, priority, vc } => {
                 w.u8(0).gid(*lock).u16(*node).u32(*thread).i32(*priority).varu(vc.len() as u64);
@@ -362,7 +369,7 @@ impl Msg {
                 w.varu(notices.len() as u64);
                 for (g, req) in notices {
                     w.gid(*g);
-                    req.encode(&mut w);
+                    req.encode(w);
                 }
                 w.varu(vc.len() as u64);
                 for v in vc {
@@ -376,7 +383,7 @@ impl Msg {
                 w.u8(3).gid(*gid).u16(*node).u32(*interval).u8(*want_ack as u8).varu(entries.len() as u64);
                 for (i, v) in entries {
                     w.varu(*i as u64);
-                    encode_wire_value(&mut w, v);
+                    encode_wire_value(w, v);
                 }
             }
             Msg::DiffAck { gid, version } => {
@@ -384,7 +391,7 @@ impl Msg {
             }
             Msg::Fetch { gid, need, node, thread, want_idx } => {
                 w.u8(5).gid(*gid).u16(*node).u32(*thread).u32(*want_idx);
-                need.encode(&mut w);
+                need.encode(w);
             }
             Msg::ObjState { gid, class, state, version, applied, to_thread, offset, chunk_info } => {
                 w.u8(6).gid(*gid).u32(*class).u32(*version).u32(*to_thread).varu(applied.len() as u64);
@@ -400,22 +407,27 @@ impl Msg {
                         w.u8(0);
                     }
                 }
-                state.encode(&mut w);
+                state.encode(w);
             }
             Msg::SpawnThread { thread_gid, class, state, priority } => {
                 w.u8(7).gid(*thread_gid).u32(*class).i32(*priority);
-                state.encode(&mut w);
+                state.encode(w);
             }
             Msg::Println { line, origin } => {
                 w.u8(8).str(line).u16(*origin);
             }
         }
-        w.finish()
     }
 
     /// Decode from wire bytes.
     pub fn decode(bytes: bytes::Bytes) -> Result<Msg, CodecError> {
         let mut r = Reader::new(bytes);
+        Msg::decode_from(&mut r)
+    }
+
+    /// Decode from any reader — framed receives decode straight out of the
+    /// frame slice with zero per-message copies.
+    pub fn decode_from<B: Buf>(r: &mut Reader<B>) -> Result<Msg, CodecError> {
         let msg = match r.u8()? {
             0 => {
                 let lock = r.gid()?;
@@ -453,7 +465,7 @@ impl Msg {
                     .collect::<Result<_, CodecError>>()?;
                 let nn = r.varu()? as usize;
                 let notices = (0..nn)
-                    .map(|_| Ok((r.gid()?, Requirement::decode(&mut r)?)))
+                    .map(|_| Ok((r.gid()?, Requirement::decode(&mut *r)?)))
                     .collect::<Result<_, CodecError>>()?;
                 let nv = r.varu()? as usize;
                 let vc = (0..nv).map(|_| r.u32()).collect::<Result<_, _>>()?;
@@ -467,7 +479,7 @@ impl Msg {
                 let want_ack = r.u8()? != 0;
                 let n = r.varu()? as usize;
                 let entries = (0..n)
-                    .map(|_| Ok((r.varu()? as u32, decode_wire_value(&mut r)?)))
+                    .map(|_| Ok((r.varu()? as u32, decode_wire_value(&mut *r)?)))
                     .collect::<Result<_, CodecError>>()?;
                 Msg::DiffFlush { gid, entries, node, interval, want_ack }
             }
@@ -477,7 +489,7 @@ impl Msg {
                 let node = r.u16()?;
                 let thread = r.u32()?;
                 let want_idx = r.u32()?;
-                let need = Requirement::decode(&mut r)?;
+                let need = Requirement::decode(&mut *r)?;
                 Msg::Fetch { gid, need, node, thread, want_idx }
             }
             6 => {
@@ -492,14 +504,14 @@ impl Msg {
                     0 => None,
                     _ => Some((r.u32()?, r.u32()?, r.u32()?)),
                 };
-                let state = WireState::decode(&mut r)?;
+                let state = WireState::decode(&mut *r)?;
                 Msg::ObjState { gid, class, state, version, applied, to_thread, offset, chunk_info }
             }
             7 => {
                 let thread_gid = r.gid()?;
                 let class = r.u32()?;
                 let priority = r.i32()?;
-                let state = WireState::decode(&mut r)?;
+                let state = WireState::decode(&mut *r)?;
                 Msg::SpawnThread { thread_gid, class, state, priority }
             }
             8 => {

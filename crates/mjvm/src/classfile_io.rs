@@ -448,6 +448,36 @@ pub fn encode_program(p: &Program) -> Vec<u8> {
     w.buf
 }
 
+/// Serialize a whole program in bounded chunks, streaming every filled
+/// `chunk`-byte piece to `sink` (the final piece may be shorter). The
+/// concatenated pieces are byte-for-byte identical to [`encode_program`],
+/// but peak memory is one chunk plus one class instead of the whole
+/// program. Returns the total encoded size.
+pub fn encode_program_chunked(p: &Program, chunk: usize, sink: &mut dyn FnMut(&[u8])) -> usize {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut total = 0usize;
+    let mut w = W { buf: Vec::with_capacity(chunk.min(4096)) };
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.str(&p.main_class);
+    w.usz(p.classes.len());
+    for c in &p.classes {
+        let bytes = encode_class(c);
+        w.usz(bytes.len());
+        w.buf.extend_from_slice(&bytes);
+        while w.buf.len() >= chunk {
+            sink(&w.buf[..chunk]);
+            total += chunk;
+            w.buf.drain(..chunk);
+        }
+    }
+    if !w.buf.is_empty() {
+        total += w.buf.len();
+        sink(&w.buf);
+    }
+    total
+}
+
 /// Deserialize a whole program.
 pub fn decode_program(bytes: &[u8]) -> Result<Program, ClassFileError> {
     let mut r = R { buf: bytes, pos: 0 };
@@ -514,6 +544,26 @@ mod tests {
         });
         let back = decode_program(&encode_program(&p)).unwrap();
         assert_eq!(p.classes, back.classes);
+    }
+
+    #[test]
+    fn chunked_encoding_matches_whole_buffer() {
+        let p = Program { classes: stdlib::stdlib_classes(), main_class: "x".into() };
+        let whole = encode_program(&p);
+        for chunk in [1usize, 7, 64, 4096, whole.len(), whole.len() * 2] {
+            let mut pieces: Vec<Vec<u8>> = Vec::new();
+            let total = encode_program_chunked(&p, chunk, &mut |c| pieces.push(c.to_vec()));
+            assert_eq!(total, whole.len());
+            for (i, piece) in pieces.iter().enumerate() {
+                assert!(piece.len() <= chunk, "piece {i} overflows chunk {chunk}");
+                // Only the last piece may be short.
+                if i + 1 < pieces.len() {
+                    assert_eq!(piece.len(), chunk);
+                }
+            }
+            let cat: Vec<u8> = pieces.concat();
+            assert_eq!(cat, whole, "chunk size {chunk}");
+        }
     }
 
     #[test]

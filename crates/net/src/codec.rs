@@ -8,19 +8,27 @@
 //! `bytes::BytesMut`, varint-compressed counts, and 64-bit global ids in
 //! place of references — never a deep copy.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use jsplit_mjvm::heap::Gid;
 use jsplit_mjvm::value::Value;
 
-/// Wire writer.
+/// Wire writer. Backed by a plain `Vec<u8>` so callers that reuse encode
+/// buffers (the framed transport, chunked class shipping) can lend one in
+/// with [`Writer::over`] and take it back with [`Writer::into_inner`].
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     pub fn new() -> Writer {
-        Writer { buf: BytesMut::with_capacity(64) }
+        Writer { buf: Vec::with_capacity(64) }
+    }
+
+    /// Write into a caller-provided buffer, appending to its current
+    /// contents (the caller clears it when reusing).
+    pub fn over(buf: Vec<u8>) -> Writer {
+        Writer { buf }
     }
 
     pub fn len(&self) -> usize {
@@ -32,7 +40,12 @@ impl Writer {
     }
 
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        Bytes::from(self.buf)
+    }
+
+    /// Take the backing buffer (for pooled reuse instead of freezing).
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
     }
 
     pub fn u8(&mut self, v: u8) -> &mut Self {
@@ -122,13 +135,15 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Reader over a received message.
-pub struct Reader {
-    buf: Bytes,
+/// Reader over a received message. Generic over any [`Buf`] so framed
+/// receives can decode straight out of a `&[u8]` slice of the frame buffer
+/// without first copying each payload into its own `Bytes`.
+pub struct Reader<B = Bytes> {
+    buf: B,
 }
 
-impl Reader {
-    pub fn new(buf: Bytes) -> Reader {
+impl<B: Buf> Reader<B> {
+    pub fn new(buf: B) -> Reader<B> {
         Reader { buf }
     }
 

@@ -17,6 +17,6 @@ pub mod stats;
 pub mod transport;
 
 pub use codec::{Reader, Writer};
-pub use sim::{LinkParams, Network, NodeId};
+pub use sim::{LinkParams, Network, NodeId, LOOPBACK_PS};
 pub use stats::{MsgKind, NetStats};
-pub use transport::{ChannelEndpoint, MeshSetup, Transport, WireMsg};
+pub use transport::{ChannelEndpoint, Frame, FrameStats, MeshSetup, Transport, WireMsg, FRAME_CHUNK};

@@ -11,6 +11,13 @@ use std::collections::HashMap;
 /// A worker-node identifier (also used as the home field of global ids).
 pub type NodeId = u16;
 
+/// Kernel loopback cost in picoseconds (1 µs): a self-send never touches the
+/// wire, so it pays neither the socket-stack base nor the per-byte term. The
+/// effective loopback bound is [`LinkParams::loopback_ps`], which clamps this
+/// to the profile's base latency so a loopback can never be *slower* than the
+/// wire the same profile models.
+pub const LOOPBACK_PS: u64 = 1_000_000;
+
 /// Per-node link parameters, in nanoseconds (from the node's JVM profile —
 /// Table 3 shows the socket stack overhead differs by JVM brand).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +32,20 @@ impl LinkParams {
     /// One-way latency in picoseconds for a message of `bytes`.
     pub fn latency_ps(&self, bytes: usize) -> u64 {
         (self.base_ns + self.per_byte_ns * bytes as u64) * 1_000
+    }
+
+    /// The base (zero-byte) one-way latency in picoseconds — the minimum
+    /// time any cross-node message from this sender spends in flight. This
+    /// is the per-sender lookahead bound the threads backend builds its
+    /// per-pair horizons from.
+    pub fn base_ps(&self) -> u64 {
+        self.base_ns * 1_000
+    }
+
+    /// Delivery bound for a self-send: loopback cost, clamped by the
+    /// profile's own base latency (a loopback is never slower than the wire).
+    pub fn loopback_ps(&self) -> u64 {
+        LOOPBACK_PS.min(self.base_ps())
     }
 }
 
@@ -52,6 +73,11 @@ impl Network {
         self.links.len()
     }
 
+    /// Link parameters of one node (the latency matrix row for lookahead).
+    pub fn link(&self, node: NodeId) -> LinkParams {
+        self.links[node as usize]
+    }
+
     /// Register a node that joined mid-execution (paper §2: "new workers can
     /// join the system").
     pub fn add_node(&mut self, link: LinkParams) -> NodeId {
@@ -67,7 +93,7 @@ impl Network {
         self.stats[src as usize].record_send(dst, bytes, kind);
         self.stats[dst as usize].record_recv(bytes, kind);
         let raw = if src == dst {
-            now_ps + 1_000_000 // 1 µs loopback
+            now_ps + self.links[src as usize].loopback_ps()
         } else {
             now_ps + self.links[src as usize].latency_ps(bytes)
         };
@@ -148,6 +174,20 @@ mod tests {
         let mut net = Network::new(vec![sun_link()]);
         let t = net.send(0, 0, 0, 65_000, MsgKind::ObjState);
         assert!(t < sun_link().latency_ps(65_000));
+    }
+
+    #[test]
+    fn loopback_bound_derived_from_profile() {
+        // Both paper profiles have base latencies far above 1 µs, so the
+        // loopback bound is the kernel constant...
+        assert_eq!(sun_link().loopback_ps(), LOOPBACK_PS);
+        assert_eq!(ibm_link().loopback_ps(), LOOPBACK_PS);
+        // ...but a hypothetical sub-µs link clamps to its own base, keeping
+        // the "loopback ≤ any wire latency" invariant the threads backend
+        // asserts against its horizons.
+        let fast = LinkParams { base_ns: 500, per_byte_ns: 1 };
+        assert_eq!(fast.loopback_ps(), 500_000);
+        assert!(fast.loopback_ps() <= fast.base_ps());
     }
 
     #[test]

@@ -65,6 +65,16 @@ impl MsgKind {
         }
     }
 
+    /// Stable one-byte tag used by the framed transport's record headers.
+    pub fn wire_id(self) -> u8 {
+        self.idx() as u8
+    }
+
+    /// Inverse of [`MsgKind::wire_id`].
+    pub fn from_wire(id: u8) -> Option<MsgKind> {
+        MsgKind::ALL.get(id as usize).copied()
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             MsgKind::LockReq => "lock_req",
@@ -149,6 +159,14 @@ mod tests {
             assert!(seen.insert(k.idx()), "{k:?} collides");
             assert!(!k.name().is_empty());
         }
+    }
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for k in MsgKind::ALL {
+            assert_eq!(MsgKind::from_wire(k.wire_id()), Some(k));
+        }
+        assert_eq!(MsgKind::from_wire(MsgKind::ALL.len() as u8), None);
     }
 
     #[test]

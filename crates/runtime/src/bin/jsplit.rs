@@ -3,7 +3,8 @@
 //! ```text
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
-//!        [--backend sim|threads] [--trace out.json] [--stats]
+//!        [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]
+//!        [--trace out.json] [--stats]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -16,13 +17,14 @@ use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::classfile_io;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, Balancer, ClusterConfig};
+use jsplit_runtime::{Backend, Balancer, ClusterConfig, Lookahead};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
-         \x20          [--backend sim|threads] [--trace out.json] [--stats]\n\
+         \x20          [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]\n\
+         \x20          [--trace out.json] [--stats]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -64,6 +66,8 @@ fn cmd_run(rest: &[String]) {
     let mut trace_path: Option<String> = None;
     let mut stats = false;
     let mut backend = Backend::Sim;
+    let mut lookahead = Lookahead::default();
+    let mut wire_batch = true;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -91,6 +95,14 @@ fn cmd_run(rest: &[String]) {
                     _ => usage(),
                 }
             }
+            "--lookahead" => {
+                lookahead = match it.next().map(String::as_str) {
+                    Some("global") => Lookahead::Global,
+                    Some("per_pair") => Lookahead::PerPair,
+                    _ => usage(),
+                }
+            }
+            "--no-batch" => wire_batch = false,
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
             "--balancer" => {
@@ -115,6 +127,8 @@ fn cmd_run(rest: &[String]) {
     cfg.array_chunk = chunk;
     cfg.balancer = balancer;
     cfg.backend = backend;
+    cfg.lookahead = lookahead;
+    cfg.wire_batch = wire_batch;
     if backend == Backend::Threads && trace_path.is_some() {
         eprintln!("jsplit: --trace requires --backend sim (event tracing is a sim-backend feature)");
         std::process::exit(2);
@@ -146,6 +160,17 @@ fn cmd_run(rest: &[String]) {
         report.net_total().msgs_sent,
         report.net_total().bytes_sent,
     );
+    if backend == Backend::Threads {
+        let s = &report.sync;
+        eprintln!(
+            "[jsplit] sync windows={} barrier_waits={} frames={} msgs_batched={} bytes/frame={:.1}",
+            s.windows,
+            s.barrier_waits,
+            s.frames_sent,
+            s.msgs_batched(),
+            s.bytes_per_frame_avg(),
+        );
+    }
     if stats {
         eprint!("{}", report.summary());
     }

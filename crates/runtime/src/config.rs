@@ -27,6 +27,20 @@ pub enum Backend {
     Threads,
 }
 
+/// How the threads backend bounds each synchronization window (sim runs are
+/// unaffected: the virtual-time queue is globally ordered there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lookahead {
+    /// One global window width: the minimum cross-node base latency over
+    /// all senders. Simple, but the cheapest link throttles everyone.
+    Global,
+    /// Null-message-style per-pair horizons: each node advances to the
+    /// minimum over peers of `peer's earliest send + peer's base latency`,
+    /// so lightly-coupled and idle peers don't constrain progress.
+    #[default]
+    PerPair,
+}
+
 /// One worker node (heterogeneous clusters mix profiles, paper §6).
 #[derive(Debug, Clone, Copy)]
 pub struct NodeSpec {
@@ -72,6 +86,12 @@ pub struct ClusterConfig {
     /// Which driver executes the run (sim by default; tracing and mid-run
     /// joins require the sim backend).
     pub backend: Backend,
+    /// Window-bound strategy for the threads backend.
+    pub lookahead: Lookahead,
+    /// Coalesce per-peer wire messages into frames (threads backend). Off
+    /// ships every message as its own frame; statistics and results are
+    /// identical either way.
+    pub wire_batch: bool,
 }
 
 impl ClusterConfig {
@@ -90,6 +110,8 @@ impl ClusterConfig {
             array_chunk: None,
             trace: None,
             backend: Backend::default(),
+            lookahead: Lookahead::default(),
+            wire_batch: true,
         }
     }
 
@@ -108,6 +130,8 @@ impl ClusterConfig {
             array_chunk: None,
             trace: None,
             backend: Backend::default(),
+            lookahead: Lookahead::default(),
+            wire_batch: true,
         }
     }
 
@@ -126,6 +150,8 @@ impl ClusterConfig {
             array_chunk: None,
             trace: None,
             backend: Backend::default(),
+            lookahead: Lookahead::default(),
+            wire_batch: true,
         }
     }
 
@@ -171,6 +197,18 @@ impl ClusterConfig {
         self.backend = backend;
         self
     }
+
+    /// Select the threads backend's window-bound strategy.
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Toggle wire batching on the threads backend.
+    pub fn with_wire_batch(mut self, on: bool) -> Self {
+        self.wire_batch = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +233,12 @@ mod tests {
         assert_eq!(t.backend, Backend::Sim);
         let th = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_backend(Backend::Threads);
         assert_eq!(th.backend, Backend::Threads);
+        assert_eq!(th.lookahead, Lookahead::PerPair);
+        assert!(th.wire_batch);
+        let tuned = ClusterConfig::javasplit(JvmProfile::SunSim, 2)
+            .with_lookahead(Lookahead::Global)
+            .with_wire_batch(false);
+        assert_eq!(tuned.lookahead, Lookahead::Global);
+        assert!(!tuned.wire_batch);
     }
 }

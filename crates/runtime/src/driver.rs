@@ -79,8 +79,14 @@ pub fn prepare(config: &ClusterConfig, program: &Program) -> Result<Prepared, Cl
             let rw = jsplit_rewriter::rewrite_program(program).map_err(ClusterError::Rewrite)?;
             let image = Image::load(&rw.program).map_err(ClusterError::Load)?;
             // §2: "the resulting rewritten classes are sent to one of
-            // the worker nodes" — class distribution is real traffic.
-            let bytes = jsplit_mjvm::classfile_io::encode_program(&rw.program).len();
+            // the worker nodes" — class distribution is real traffic. Size
+            // it by streaming the encoding in wire-frame-sized chunks: the
+            // serialized program never materializes as one giant buffer.
+            let bytes = jsplit_mjvm::classfile_io::encode_program_chunked(
+                &rw.program,
+                jsplit_net::FRAME_CHUNK,
+                &mut |_| {},
+            );
             (image, Some(rw.stats), bytes)
         }
     };

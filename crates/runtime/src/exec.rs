@@ -421,6 +421,7 @@ impl Cluster {
             breakdown,
             lock_stats,
             host_wall_secs: started.elapsed().as_secs_f64(),
+            sync: crate::report::SyncStats::default(),
         }
     }
 }

@@ -46,9 +46,9 @@ pub mod report;
 pub mod threads;
 
 pub use balance::{Balancer, LoadBalancer};
-pub use config::{Backend, ClusterConfig, Mode, NodeSpec};
+pub use config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec};
 pub use driver::{ClusterError, Driver};
 pub use exec::Cluster;
 pub use node::NodeRuntime;
-pub use report::RunReport;
+pub use report::{RunReport, SyncStats};
 pub use threads::ThreadsDriver;

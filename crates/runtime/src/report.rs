@@ -8,6 +8,43 @@ use jsplit_rewriter::RewriteStats;
 use jsplit_trace::{Event, LockStat, NodeBreakdown};
 use std::fmt::Write as _;
 
+/// Synchronization-layer counters from the threads backend (all zero under
+/// the sim backend, which has no windows or frames). Deliberately *not*
+/// part of [`NetStats`]: message-level accounting must stay identical
+/// across backends, while these describe how the parallel execution was
+/// orchestrated.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Synchronization windows (epoch rounds) the cluster ran.
+    pub windows: u64,
+    /// Total `Barrier::wait` calls across nodes (one per node per round
+    /// under the epoch protocol; the pre-overhaul driver paid two).
+    pub barrier_waits: u64,
+    /// Frames shipped across all nodes.
+    pub frames_sent: u64,
+    /// Total frame bytes (headers + payloads) across all nodes.
+    pub frame_bytes: u64,
+    /// Messages carried inside frames across all nodes.
+    pub msgs_framed: u64,
+}
+
+impl SyncStats {
+    /// Channel crossings saved by coalescing: messages that rode along in
+    /// an already-counted frame.
+    pub fn msgs_batched(&self) -> u64 {
+        self.msgs_framed.saturating_sub(self.frames_sent)
+    }
+
+    /// Mean shipped frame size in bytes.
+    pub fn bytes_per_frame_avg(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.frame_bytes as f64 / self.frames_sent as f64
+        }
+    }
+}
+
 /// The result of a completed cluster run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -61,6 +98,8 @@ pub struct RunReport {
     /// it is the wall-clock time of the parallel execution — the number the
     /// live benchmarks report.
     pub host_wall_secs: f64,
+    /// Threads-backend synchronization counters (zero for sim runs).
+    pub sync: SyncStats,
 }
 
 impl RunReport {

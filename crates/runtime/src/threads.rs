@@ -9,53 +9,90 @@
 //! Virtual time is still the semantic clock (instruction costs, link
 //! latencies); only the *execution* is parallel. The classic conservative
 //! PDES argument applies: every cross-node message carries at least the
-//! sender's per-message base latency `W`, so an event processed at virtual
-//! time `t ≥ m` can only cause effects at other nodes at `t + W ≥ m + W`.
-//! Each round therefore:
+//! sender's per-message base latency, so a node can safely process local
+//! events up to a horizon no in-flight or future message can undercut.
 //!
-//! 1. drains inbound channels into the local event queue (sorted
+//! Each round (one *epoch*):
+//!
+//! 1. flushes pending wire frames and crosses the single `Barrier` — after
+//!    it, everything peers sent in the previous window is in our channel,
+//! 2. drains inbound frames into the local event queue (sorted
 //!    deterministically by `(deliver, step, src, seq)`),
-//! 2. publishes per-node aggregates (earliest local event, live threads,
-//!    spawn counters, retired ops) and crosses a barrier,
-//! 3. derives the same global decision on every thread — finish, abort,
-//!    deadlock, or the next window `[m, m + W)` where `m` is the global
-//!    earliest event — and processes its local events inside the window in
-//!    parallel with every other node.
+//! 3. publishes per-node aggregates (earliest local event = a lower bound
+//!    on every future send, live threads, spawn counters, retired ops)
+//!    seqlock-style: plain stores, then an epoch-counter release store,
+//! 4. waits (a short spin, then a parked condvar wait on oversubscribed
+//!    hosts) until every peer's epoch counter reaches this round — the
+//!    only other synchronization point (the decide-side barrier of the
+//!    original protocol, replaced by the epoch slots),
+//! 5. derives the same global decision on every thread — finish, abort,
+//!    deadlock, or a window horizon (see below) — and processes its local
+//!    events below the horizon in parallel with every other node.
+//!
+//! ## Lookahead
+//!
+//! [`Lookahead::Global`] bounds every window by the cheapest sender's base
+//! latency: horizon = `min_next + min_base`. [`Lookahead::PerPair`] uses
+//! the published per-node promises (null-message style): node `j` advances
+//! to
+//!
+//! ```text
+//! h_j = min( min_{i≠j} (next_i + base_i),          direct influence
+//!            next_j + base_j + min_{i≠j} base_i )  self-echo via a peer
+//! ```
+//!
+//! The first term bounds any chain of causality *starting at a peer*: all
+//! of `i`'s sends this round happen at virtual times ≥ `next_i` (it drains
+//! only at round boundaries, and every effect of an event at `t` is
+//! stamped ≥ `t`), so anything reaching `j` — directly or through other
+//! nodes, which only add nonnegative hops — arrives ≥ `next_i + base_i`.
+//! The second term bounds chains starting at `j` itself: `j`'s earliest
+//! send leaves at ≥ `next_j`, needs `base_j` to reach any peer and at
+//! least the cheapest peer base to come back. Without it a two-hop echo
+//! through an idle peer (`next_i = ∞`) could arrive inside an unbounded
+//! window. Idle peers otherwise cost nothing — `∞ + base` never binds —
+//! which is what lets lightly-coupled topologies run long windows.
 //!
 //! Within a window nodes run concurrently on real CPUs (the wall-clock
 //! speedup), yet each node's virtual-time execution is identical to what
 //! the sequential simulator would do — program output and protocol
-//! counters match the sim backend (asserted by the cross-backend
-//! differential tests). The residual freedom is tie-ordering of *distinct
-//! nodes'* events at exactly equal virtual times, which the deterministic
-//! key resolves run-to-run reproducibly.
+//! counters match the sim backend under either lookahead mode (asserted by
+//! the cross-backend differential tests). The residual freedom is
+//! tie-ordering of *distinct nodes'* events at exactly equal virtual
+//! times, which the deterministic key resolves run-to-run reproducibly.
 //!
 //! Restrictions vs the sim driver: no mid-run joins, no tracing (both are
 //! sim-only for now), and the `max_ops` abort guard is enforced at window
 //! granularity rather than per event.
 
 use crate::balance::{BalancerState, LoadBalancer};
-use crate::config::{ClusterConfig, Mode};
+use crate::config::{ClusterConfig, Lookahead, Mode};
 use crate::driver::{self, ClusterError, Driver, Prepared};
 use crate::env::CONSOLE_NODE;
 use crate::node::{Effect, LocalEv, NodeRuntime};
-use crate::report::RunReport;
+use crate::report::{RunReport, SyncStats};
 use jsplit_dsm::Msg;
 use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::{Frame, VmError};
 use jsplit_mjvm::loader::MethodId;
 use jsplit_mjvm::Value;
-use jsplit_net::{ChannelEndpoint, MeshSetup, NodeId};
+use jsplit_net::{ChannelEndpoint, MeshSetup, NodeId, Reader};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 
-/// Per-node aggregates, written only by the owning thread between barriers
-/// and read by everyone after the next barrier.
+/// Per-node aggregates, published once per round. Field stores are plain
+/// (`Relaxed`); the `epoch` release store makes them visible, seqlock
+/// style — a reader that has observed `epoch ≥ r` reads round-`r` values.
+/// A slot is never overwritten while readable: publishing round `r+1`
+/// happens after the round-`r+1` barrier, which no peer reaches before it
+/// finished reading round `r`.
 #[derive(Default)]
 struct NodeSlot {
-    /// Earliest local event time, `u64::MAX` if the queue is empty.
+    /// Earliest local event time after this round's drain — a lower bound
+    /// on the virtual time of *any* future send by this node (`u64::MAX`
+    /// if idle). Non-decreasing across rounds.
     next_event: AtomicU64,
     live: AtomicU64,
     /// Cumulative `SpawnThread` messages sent / installed (their difference
@@ -63,15 +100,33 @@ struct NodeSlot {
     spawns_sent: AtomicU64,
     spawns_recv: AtomicU64,
     ops: AtomicU64,
+    /// Publication counter: holds the latest round whose values are
+    /// readable from this slot.
+    epoch: AtomicU64,
 }
 
 struct Shared {
     slots: Vec<NodeSlot>,
+    /// The one barrier per round, separating "all sends of the previous
+    /// window are flushed" from "drain and decide".
     barrier: Barrier,
-    /// Conservative window width: the minimum cross-node per-message base
+    /// Global-mode window width: the minimum cross-node per-message base
     /// latency (`u64::MAX` for a single node — one window runs everything).
     window_ps: u64,
+    /// Per-sender zero-byte latency (ps): the lookahead each node's
+    /// promise is extended by.
+    base_ps: Vec<u64>,
+    /// `min_{i≠j} base_ps[i]` per node `j` (the self-echo return hop).
+    min_peer_base: Vec<u64>,
+    lookahead: Lookahead,
     max_ops: u64,
+    /// Blocking fallback for the epoch wait: a publisher that stored its
+    /// epoch takes this lock and notifies; a waiter whose short spin
+    /// failed re-checks under the lock and parks. On machines with a core
+    /// per node the spin almost always wins; on oversubscribed hosts
+    /// parking beats a `yield_now` storm.
+    epoch_lock: Mutex<()>,
+    epoch_cv: Condvar,
 }
 
 /// What one node thread hands back when the run is over.
@@ -83,6 +138,10 @@ struct NodeOutcome {
     aborted: bool,
     /// Final length of the local event-payload slab (live-event bound).
     slab_high_water: u64,
+    /// Windows this node processed (identical on every node).
+    windows: u64,
+    /// `Barrier::wait` calls this node made.
+    barrier_waits: u64,
 }
 
 /// A node-local scheduled event (the per-node analogue of the sim driver's
@@ -125,6 +184,11 @@ struct NodeLoop {
     seq: u64,
     errors: Vec<(ThreadUid, VmError)>,
     fx: Vec<Effect>,
+    /// Reused drain staging buffer (sorted per round, never reallocated in
+    /// the steady state).
+    drain_scratch: Vec<(u64, u64, NodeId, u64, Msg)>,
+    windows: u64,
+    barrier_waits: u64,
 }
 
 impl NodeLoop {
@@ -170,20 +234,29 @@ impl NodeLoop {
         self.fx = fx;
     }
 
-    /// Encode, account and ship one protocol message at virtual `at`.
+    /// Encode, account and ship one protocol message at virtual `at`:
+    /// remote messages into the destination's pending frame, self-sends
+    /// straight back into the local queue.
     fn transmit(&mut self, at: u64, step: u64, dst: NodeId, msg: Msg) {
         if matches!(msg, Msg::SpawnThread { .. }) {
             self.spawns_sent += 1;
         }
-        let payload = msg.encode();
         let kind = msg.kind();
-        let (deliver, local) = self.endpoint.transmit(at, step, dst, kind, payload);
+        let (deliver, local) = self.endpoint.transmit(at, step, dst, kind, &mut |w| msg.encode_into(w));
         if let Some(wire) = local {
-            // Loopback: 1 µs is below any window width, so the delivery
-            // never crosses the mesh — it goes straight into our queue.
-            // Round-trip the codec anyway: the wire sees what a peer would.
+            // Loopback: delivered below any window horizon, so it never
+            // crosses the mesh — it goes straight into our queue. The
+            // bound is profile-derived (`LinkParams::loopback_ps`, clamped
+            // to the base latency); strictly-future delivery keeps the
+            // in-window processing order intact. Round-trip the codec
+            // anyway: the wire sees what a peer would.
+            debug_assert!(
+                deliver >= at + self.endpoint.link().loopback_ps(),
+                "loopback delivered before its profile bound"
+            );
             self.endpoint.record_recv(wire.payload.len(), wire.kind);
-            let msg = Msg::decode(wire.payload).expect("loopback codec round-trip");
+            let msg = Msg::decode_from(&mut Reader::new(&wire.payload[..])).expect("loopback codec round-trip");
+            self.endpoint.recycle(wire.payload);
             let lane = self.endpoint.id;
             self.push(deliver, step, lane, NodeEv::Deliver { src: lane, msg });
         }
@@ -254,36 +327,50 @@ impl NodeLoop {
         }
     }
 
-    /// Drain inbound channels into the local queue, deterministically:
+    /// Drain inbound frames into the local queue, deterministically:
     /// arrival interleaving across senders is scheduler noise, so sort by
     /// the virtual-time key before assigning local sequence numbers.
+    /// Records decode in place from the frame buffers (which return to
+    /// their senders' pools).
     fn drain_inbox(&mut self) {
-        let mut batch = Vec::new();
-        while let Some(wire) = self.endpoint.try_recv() {
-            batch.push(wire);
+        let mut batch = std::mem::take(&mut self.drain_scratch);
+        self.endpoint.drain_frames(&mut |src, _kind, deliver_ps, step_ps, seq, payload| {
+            let msg = Msg::decode_from(&mut Reader::new(payload)).expect("wire codec round-trip");
+            batch.push((deliver_ps, step_ps, src, seq, msg));
+        });
+        if !batch.is_empty() {
+            batch.sort_unstable_by_key(|&(deliver, step, src, seq, _)| (deliver, step, src, seq));
+            for (deliver, step, src, _, msg) in batch.drain(..) {
+                self.push(deliver, step, src, NodeEv::Deliver { src, msg });
+            }
         }
-        if batch.is_empty() {
-            return;
-        }
-        batch.sort_by_key(|w| (w.deliver_ps, w.step_ps, w.src, w.seq));
-        for wire in batch {
-            let msg = Msg::decode(wire.payload).expect("wire codec round-trip");
-            self.push(wire.deliver_ps, wire.step_ps, wire.src, NodeEv::Deliver { src: wire.src, msg });
-        }
+        self.drain_scratch = batch;
     }
 
-    /// The thread body: rounds of drain → publish → barrier → decide →
-    /// process-window, until the cluster-wide decision says stop.
+    /// The thread body: epochs of flush → barrier → drain → publish →
+    /// spin → decide → process-window, until the cluster-wide decision
+    /// says stop.
     fn run(mut self) -> NodeOutcome {
         let me = self.endpoint.id as usize;
         let shared = self.shared.clone();
         let n = shared.slots.len();
         let mut deadlocked = false;
         let mut aborted = false;
+        let mut round: u64 = 0;
+        let mut next_buf = vec![0u64; n];
         loop {
-            // B1: every send of the previous round is in its channel.
+            round += 1;
+            // Everything this node sent in the previous window (and during
+            // bootstrap) ships now; the barrier then guarantees every
+            // peer's sends are in our channel before we drain. Draining
+            // *after* the barrier is load-bearing: a message missed here
+            // could fall inside a later (wider) horizon.
+            self.endpoint.flush();
             shared.barrier.wait();
+            self.barrier_waits += 1;
             self.drain_inbox();
+            // Publish this round's aggregates: plain field stores, then
+            // the epoch release-store that makes them readable.
             let slot = &shared.slots[me];
             let next = self.events.peek().map_or(u64::MAX, |Reverse((t, ..))| *t);
             slot.next_event.store(next, Ordering::Relaxed);
@@ -291,20 +378,46 @@ impl NodeLoop {
             slot.spawns_sent.store(self.spawns_sent, Ordering::Relaxed);
             slot.spawns_recv.store(self.spawns_recv, Ordering::Relaxed);
             slot.ops.store(self.node.ops, Ordering::Relaxed);
-            // B2: every slot is published; each thread now derives the same
-            // global decision from the same values.
-            shared.barrier.wait();
+            slot.epoch.store(round, Ordering::Release);
+            // Wake anyone parked on the epoch: the lock round-trip after
+            // the store is what makes a missed wakeup impossible (a waiter
+            // holds it between its failed re-check and parking).
+            drop(shared.epoch_lock.lock().unwrap());
+            shared.epoch_cv.notify_all();
+            // Wait until every peer has published this round; each thread
+            // then derives the same global decision from the same values.
+            let published = |shared: &Shared| shared.slots.iter().all(|s| s.epoch.load(Ordering::Acquire) >= round);
+            let mut spins = 0u32;
+            while !published(&shared) {
+                if spins < 64 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    let guard = shared.epoch_lock.lock().unwrap();
+                    if published(&shared) {
+                        break;
+                    }
+                    // The timeout is belt-and-braces only; the publish
+                    // protocol above cannot miss a wakeup.
+                    let _ = shared
+                        .epoch_cv
+                        .wait_timeout(guard, std::time::Duration::from_micros(200))
+                        .unwrap();
+                }
+            }
             let mut live = 0u64;
             let mut sent = 0u64;
             let mut recv = 0u64;
             let mut ops = 0u64;
             let mut min_next = u64::MAX;
-            for s in &shared.slots {
+            for (i, s) in shared.slots.iter().enumerate() {
                 live += s.live.load(Ordering::Relaxed);
                 sent += s.spawns_sent.load(Ordering::Relaxed);
                 recv += s.spawns_recv.load(Ordering::Relaxed);
                 ops += s.ops.load(Ordering::Relaxed);
-                min_next = min_next.min(s.next_event.load(Ordering::Relaxed));
+                let nx = s.next_event.load(Ordering::Relaxed);
+                next_buf[i] = nx;
+                min_next = min_next.min(nx);
             }
             // Spawned-but-undelivered threads count as live: a main that
             // exits immediately after `start()` must not end the run.
@@ -317,16 +430,34 @@ impl NodeLoop {
             }
             if min_next == u64::MAX {
                 // Live threads, no scheduled events anywhere, empty
-                // channels (anything sent last round was just drained):
-                // nothing can ever run again.
+                // channels (anything sent last round was flushed before
+                // the barrier and just drained): nothing can ever run
+                // again.
                 deadlocked = true;
                 break;
             }
-            // Process the window [min_next, min_next + W): no message sent
-            // at t ≥ min_next can arrive before min_next + W, so the local
-            // queue already holds everything this window needs. n == 1
-            // degenerates to one unbounded window.
-            let horizon = if n == 1 { u64::MAX } else { min_next.saturating_add(shared.window_ps) };
+            self.windows += 1;
+            // The safe horizon: no message can be delivered to this node
+            // below it (module docs give the argument). n == 1 degenerates
+            // to one unbounded window.
+            let horizon = if n == 1 {
+                u64::MAX
+            } else {
+                match shared.lookahead {
+                    Lookahead::Global => min_next.saturating_add(shared.window_ps),
+                    Lookahead::PerPair => {
+                        let mut h = next_buf[me]
+                            .saturating_add(shared.base_ps[me])
+                            .saturating_add(shared.min_peer_base[me]);
+                        for (i, nx) in next_buf.iter().enumerate() {
+                            if i != me {
+                                h = h.min(nx.saturating_add(shared.base_ps[i]));
+                            }
+                        }
+                        h
+                    }
+                }
+            };
             while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
                 if time >= horizon {
                     break;
@@ -361,6 +492,8 @@ impl NodeLoop {
             errors: self.errors,
             deadlocked,
             aborted,
+            windows: self.windows,
+            barrier_waits: self.barrier_waits,
         }
     }
 }
@@ -387,7 +520,13 @@ impl ThreadsDriver {
         }
         let prepared = driver::prepare(&config, program)?;
         let links: Vec<_> = config.nodes.iter().map(|s| driver::link_params(*s)).collect();
-        let mut endpoints = ChannelEndpoint::mesh(&links);
+        // The loopback bound is profile-derived and must sit below every
+        // conservative horizon built from base latencies — the clamp in
+        // `loopback_ps` guarantees it; this makes the assumption explicit.
+        for l in &links {
+            assert!(l.loopback_ps() <= l.base_ps(), "loopback bound {} ps above link base {} ps", l.loopback_ps(), l.base_ps());
+        }
+        let mut endpoints = ChannelEndpoint::mesh(&links, config.wire_batch);
         let mut nodes: Vec<NodeRuntime> = config
             .nodes
             .iter()
@@ -410,20 +549,31 @@ impl ThreadsDriver {
     pub fn run(self) -> RunReport {
         let started = std::time::Instant::now();
         let n = self.nodes.len();
-        // The window is bounded by the *cheapest sender's* base latency:
-        // any cross-node message costs at least that much.
-        let window_ps = self
-            .config
-            .nodes
-            .iter()
-            .map(|s| s.profile.cost_model().net_base_ns * 1_000)
-            .min()
-            .unwrap_or(u64::MAX);
+        let base_ps: Vec<u64> = self.config.nodes.iter().map(|s| driver::link_params(*s).base_ps()).collect();
+        // Global mode: the window is bounded by the *cheapest sender's*
+        // base latency — any cross-node message costs at least that much.
+        let window_ps = base_ps.iter().copied().min().unwrap_or(u64::MAX);
+        let min_peer_base: Vec<u64> = (0..n)
+            .map(|j| {
+                base_ps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != j)
+                    .map(|(_, b)| *b)
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
         let shared = Arc::new(Shared {
             slots: (0..n).map(|_| NodeSlot::default()).collect(),
             barrier: Barrier::new(n),
             window_ps,
+            base_ps,
+            min_peer_base,
+            lookahead: self.config.lookahead,
             max_ops: self.config.max_ops,
+            epoch_lock: Mutex::new(()),
+            epoch_cv: Condvar::new(),
         });
         let mode = self.config.mode;
         let thread_main = self.prepared.thread_main;
@@ -453,6 +603,9 @@ impl ThreadsDriver {
                 seq: 0,
                 errors: Vec::new(),
                 fx: Vec::new(),
+                drain_scratch: Vec::new(),
+                windows: 0,
+                barrier_waits: 0,
             };
             handles.push(std::thread::spawn(move || {
                 // The main thread starts on worker 0 (§2), before the first
@@ -485,6 +638,13 @@ impl ThreadsDriver {
                 console = o.node.take_console();
             }
         }
+        let sync = SyncStats {
+            windows: outcomes[0].windows,
+            barrier_waits: outcomes.iter().map(|o| o.barrier_waits).sum(),
+            frames_sent: outcomes.iter().map(|o| o.endpoint.frame_stats.frames_sent).sum(),
+            frame_bytes: outcomes.iter().map(|o| o.endpoint.frame_stats.frame_bytes).sum(),
+            msgs_framed: outcomes.iter().map(|o| o.endpoint.frame_stats.msgs_framed).sum(),
+        };
         RunReport {
             exec_time_ps: outcomes.iter().map(|o| o.node.finish_time).max().unwrap_or(0),
             output: console,
@@ -504,6 +664,7 @@ impl ThreadsDriver {
             breakdown: Vec::new(),
             lock_stats: Vec::new(),
             host_wall_secs,
+            sync,
         }
     }
 }

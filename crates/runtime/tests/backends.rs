@@ -3,20 +3,24 @@
 //!
 //! The threads backend runs each node on its own OS thread and moves every
 //! protocol message as *encoded bytes* across a channel, synchronized by
-//! conservative virtual-time windows. If its windowing, message merge
-//! order, uid allocation, or load-balance placement diverged from the sim
-//! driver in any observable way, these tests catch it: program stdout,
-//! virtual execution time, instruction counts, per-node DSM protocol
-//! counters, and per-node network message/byte totals must all match
-//! exactly, on all three paper applications, in both protocol modes.
-//! (Host wall-clock is the one field allowed to differ — that is the
+//! conservative virtual-time windows (single-barrier epoch rounds, global
+//! or per-pair lookahead, optional wire batching). If its windowing,
+//! framing, message merge order, uid allocation, or load-balance placement
+//! diverged from the sim driver in any observable way, these tests catch
+//! it: program stdout, virtual execution time, instruction counts,
+//! per-node DSM protocol counters, and per-node network message/byte
+//! totals must all match exactly — on all three paper applications plus a
+//! write-heavy microbenchmark, across cluster sizes, in both protocol
+//! modes, under either lookahead strategy, batched or not. (Host
+//! wall-clock and the sync counters are the fields allowed to differ —
+//! they describe *how* the parallel run was orchestrated, which is the
 //! point of the backend.)
 
 use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, ClusterConfig, RunReport};
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, RunReport};
 
 fn apps() -> Vec<(&'static str, Program)> {
     use jsplit_apps::{raytracer, series, tsp};
@@ -27,20 +31,32 @@ fn apps() -> Vec<(&'static str, Program)> {
     ]
 }
 
-fn run(backend: Backend, proto: ProtocolMode, nodes: usize, p: &Program) -> RunReport {
+fn run_with(
+    backend: Backend,
+    proto: ProtocolMode,
+    nodes: usize,
+    lookahead: Lookahead,
+    wire_batch: bool,
+    p: &Program,
+) -> RunReport {
     let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, nodes)
         .with_protocol(proto)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_lookahead(lookahead)
+        .with_wire_batch(wire_batch);
     let r = run_cluster(cfg, p).expect("cluster setup");
     r.expect_clean();
     r
 }
 
-/// Everything observable about a run except host wall-clock (and the
-/// event-slab high-water mark, which measures driver internals — the two
-/// drivers legitimately have different queue shapes).
-fn assert_reports_match(app: &str, proto: ProtocolMode, sim: &RunReport, thr: &RunReport) {
-    let ctx = format!("{app} ({proto:?})");
+fn run(backend: Backend, proto: ProtocolMode, nodes: usize, p: &Program) -> RunReport {
+    run_with(backend, proto, nodes, Lookahead::default(), true, p)
+}
+
+/// Everything observable about a run except host wall-clock, the
+/// event-slab high-water mark, and the sync counters — those measure
+/// driver internals, and the two drivers legitimately differ there.
+fn assert_reports_match(ctx: &str, sim: &RunReport, thr: &RunReport) {
     assert_eq!(sim.output, thr.output, "{ctx}: stdout diverged");
     assert_eq!(sim.exec_time_ps, thr.exec_time_ps, "{ctx}: virtual time diverged");
     assert_eq!(sim.setup_ps, thr.setup_ps, "{ctx}: setup time diverged");
@@ -58,24 +74,90 @@ fn threads_backend_matches_sim_on_all_apps_both_protocols() {
         for proto in [ProtocolMode::MtsHlrc, ProtocolMode::ClassicHlrc] {
             let sim = run(Backend::Sim, proto, 4, p);
             let thr = run(Backend::Threads, proto, 4, p);
-            assert_reports_match(app, proto, &sim, &thr);
+            assert_reports_match(&format!("{app} ({proto:?})"), &sim, &thr);
+        }
+    }
+}
+
+/// Cluster sizes below and above the app's thread count (16 nodes for 8
+/// app threads leaves some nodes nearly idle — the regime per-pair
+/// lookahead exists for).
+#[test]
+fn threads_backend_matches_sim_across_node_counts() {
+    for (app, p) in &apps() {
+        for nodes in [2usize, 16] {
+            let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, nodes, p);
+            let thr = run(Backend::Threads, ProtocolMode::MtsHlrc, nodes, p);
+            assert_reports_match(&format!("{app} @ {nodes} nodes"), &sim, &thr);
+        }
+    }
+}
+
+/// A write-heavy array microbenchmark (block-striped writers) — a very
+/// different protocol mix from the paper apps: dominated by diffs and
+/// array-region traffic.
+#[test]
+fn threads_backend_matches_sim_on_micro_kernel() {
+    let p = jsplit_apps::micro::block_array_kernel(64, 8);
+    for nodes in [4usize, 16] {
+        let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, nodes, &p);
+        let thr = run(Backend::Threads, ProtocolMode::MtsHlrc, nodes, &p);
+        assert_reports_match(&format!("micro @ {nodes} nodes"), &sim, &thr);
+    }
+}
+
+/// Both lookahead strategies and both batching settings must produce the
+/// same observable run — windowing and framing are execution details, not
+/// semantics.
+#[test]
+fn threads_backend_matches_sim_under_all_sync_knobs() {
+    let (_, p) = apps().swap_remove(0); // tsp: the most placement-sensitive app
+    let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, 4, &p);
+    for lookahead in [Lookahead::Global, Lookahead::PerPair] {
+        for batch in [true, false] {
+            let thr = run_with(Backend::Threads, ProtocolMode::MtsHlrc, 4, lookahead, batch, &p);
+            assert_reports_match(&format!("tsp ({lookahead:?}, batch={batch})"), &sim, &thr);
         }
     }
 }
 
 /// The conservative-window merge must make the threads backend
-/// deterministic on its own terms: two runs of the same program produce
-/// identical reports, regardless of OS scheduling.
+/// deterministic on its own terms: five runs of the same program produce
+/// identical stdout and protocol counters, regardless of OS scheduling —
+/// under the aggressive configuration (per-pair lookahead + batching).
 #[test]
-fn threads_backend_is_deterministic() {
-    let (_, p) = apps().swap_remove(0); // tsp: the most placement-sensitive app
-    let a = run(Backend::Threads, ProtocolMode::MtsHlrc, 8, &p);
-    let b = run(Backend::Threads, ProtocolMode::MtsHlrc, 8, &p);
-    assert_eq!(a.output, b.output);
-    assert_eq!(a.exec_time_ps, b.exec_time_ps);
-    assert_eq!(a.ops_per_node, b.ops_per_node);
-    assert_eq!(a.net_per_node, b.net_per_node);
-    assert_eq!(a.dsm_per_node, b.dsm_per_node);
+fn threads_backend_is_deterministic_repeated() {
+    let (_, p) = apps().swap_remove(0);
+    let first = run_with(Backend::Threads, ProtocolMode::MtsHlrc, 8, Lookahead::PerPair, true, &p);
+    for i in 1..5 {
+        let r = run_with(Backend::Threads, ProtocolMode::MtsHlrc, 8, Lookahead::PerPair, true, &p);
+        assert_eq!(first.output, r.output, "run {i}: stdout diverged");
+        assert_eq!(first.exec_time_ps, r.exec_time_ps, "run {i}: virtual time diverged");
+        assert_eq!(first.ops_per_node, r.ops_per_node, "run {i}: per-node ops diverged");
+        assert_eq!(first.net_per_node, r.net_per_node, "run {i}: net stats diverged");
+        assert_eq!(first.dsm_per_node, r.dsm_per_node, "run {i}: DSM stats diverged");
+    }
+}
+
+/// Degenerate topology: a cluster with far more nodes than application
+/// threads leaves some nodes permanently silent (they publish `next = ∞`
+/// every round). Silent nodes must not stall the cluster — the run
+/// completes and still matches the sim — and per-pair lookahead must not
+/// let them *unboundedly widen* anyone's window either (the self-echo
+/// term; a violation shows up here as diverged counters or a deadlock).
+#[test]
+fn silent_nodes_neither_stall_nor_corrupt_the_cluster() {
+    use jsplit_apps::tsp;
+    let p = tsp::program(tsp::TspParams { n: 7, seed: 42, depth: 2, threads: 2 });
+    for lookahead in [Lookahead::Global, Lookahead::PerPair] {
+        let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, 8, &p);
+        let thr = run_with(Backend::Threads, ProtocolMode::MtsHlrc, 8, lookahead, true, &p);
+        assert_reports_match(&format!("tsp-silent ({lookahead:?})"), &sim, &thr);
+        // The premise holds: some node really did stay silent (no DSM or
+        // spawn traffic beyond the class shipment it was sent).
+        let quiet = thr.net_per_node.iter().skip(1).any(|n| n.msgs_sent == 0);
+        assert!(quiet, "expected at least one silent worker in an 8-node run of 2 threads");
+    }
 }
 
 /// Single-node threads runs take the horizon=∞ fast path (no windowing);
@@ -85,7 +167,33 @@ fn threads_backend_matches_sim_single_node() {
     let (_, p) = apps().swap_remove(0);
     let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, 1, &p);
     let thr = run(Backend::Threads, ProtocolMode::MtsHlrc, 1, &p);
-    assert_reports_match("tsp-1node", ProtocolMode::MtsHlrc, &sim, &thr);
+    assert_reports_match("tsp-1node", &sim, &thr);
+}
+
+/// The threads backend reports its orchestration counters: windows ran,
+/// one barrier wait per node per window, and (with batching on) fewer
+/// frames than messages.
+#[test]
+fn sync_counters_are_populated() {
+    let (_, p) = apps().swap_remove(0);
+    let nodes = 4u64;
+    let batched = run_with(Backend::Threads, ProtocolMode::MtsHlrc, nodes as usize, Lookahead::PerPair, true, &p);
+    let s = batched.sync;
+    assert!(s.windows > 0, "no windows counted");
+    // One Barrier::wait per node per round; rounds = windows + the final
+    // decision round(s) that break without processing a window.
+    assert!(s.barrier_waits >= nodes * s.windows, "barrier_waits {} < n*windows {}", s.barrier_waits, nodes * s.windows);
+    assert!(s.msgs_framed > 0, "no messages framed");
+    assert!(s.frames_sent <= s.msgs_framed, "more frames than messages");
+    assert!(s.msgs_batched() > 0, "batching saved no channel crossings on tsp");
+    assert!(s.bytes_per_frame_avg() > 0.0);
+    // Sim runs report zeroed sync counters.
+    let sim = run(Backend::Sim, ProtocolMode::MtsHlrc, 4, &p);
+    assert_eq!(sim.sync, jsplit_runtime::SyncStats::default());
+    // Unbatched: one frame per message, by construction.
+    let unbatched = run_with(Backend::Threads, ProtocolMode::MtsHlrc, 4, Lookahead::PerPair, false, &p);
+    assert_eq!(unbatched.sync.msgs_batched(), 0, "unbatched mode must ship one record per frame");
+    assert_eq!(unbatched.sync.frames_sent, unbatched.sync.msgs_framed);
 }
 
 /// The threads driver cannot honour mid-run joins or event tracing; both

@@ -146,6 +146,17 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_slice(&mut self, n: usize) -> &[u8] {
+        let (head, tail) = std::mem::take(self).split_at(n);
+        *self = tail;
+        head
+    }
+}
+
 /// Write sink (little-endian putters only).
 pub trait BufMut {
     fn put_slice(&mut self, s: &[u8]);
@@ -176,6 +187,12 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, s: &[u8]) {
         self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
     }
 }
 
