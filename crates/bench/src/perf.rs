@@ -9,8 +9,12 @@
 //! node runs on its own OS thread and the numbers are real parallel
 //! execution, written to `BENCH_LIVE.json` — including, per app, the
 //! 8-node vs 1-node wall-clock speedup (the live analogue of the paper's
-//! Figure 3) and the synchronization-layer counters (windows, barrier
-//! waits, message batching).
+//! Figure 3), the synchronization-layer counters (windows, barrier waits,
+//! message batching), and the wall-clock span profile: per-node stall
+//! breakdown with barrier-wait / window-length / frame-size percentiles.
+//! Threads runs are measured *with the span profiler on* (aggregates only
+//! — a handful of clock reads per epoch round, well under the run-to-run
+//! noise) so the breakdown describes exactly the wall time reported.
 //!
 //! Deliberately *not* part of `repro all`: wall-clock numbers are
 //! host-dependent and nondeterministic, and `repro all` output is used as a
@@ -24,6 +28,7 @@ use crate::measure::{render_table, run_clean};
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::{Backend, ClusterConfig, Lookahead, SyncStats};
+use jsplit_trace::{LogHist, SpanKind, WallProfile, ALL_SPAN_KINDS};
 
 /// One measured workload.
 pub struct PerfPoint {
@@ -45,12 +50,27 @@ pub struct PerfPoint {
     pub wall_1node_secs: Option<f64>,
     /// Threads-backend synchronization counters (zero under sim).
     pub sync: SyncStats,
+    /// Wall-clock span profile of the measured run (threads backend only).
+    pub wall: Option<WallProfile>,
 }
 
 impl PerfPoint {
     /// Live wall-clock speedup vs the 1-node run (threads backend only).
     pub fn speedup(&self) -> Option<f64> {
         self.wall_1node_secs.map(|w1| w1 / self.wall_secs.max(1e-9))
+    }
+
+    /// "condvar_wait 41%"-style cell for the text table ("-" without a
+    /// profile or with no stall time at all).
+    pub fn dominant_stall_cell(&self) -> String {
+        let Some(w) = &self.wall else { return "-".into() };
+        match w.dominant_stall() {
+            Some((kind, ns)) => {
+                let total: u64 = w.nodes.iter().map(|n| n.accounted_ns()).sum();
+                format!("{} {:.0}%", kind.label(), 100.0 * ns as f64 / total.max(1) as f64)
+            }
+            None => "-".into(),
+        }
     }
 }
 
@@ -84,9 +104,10 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
         let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
             .with_backend(backend)
             .with_lookahead(lookahead)
-            .with_wire_batch(wire_batch);
+            .with_wire_batch(wire_batch)
+            .with_profile(backend == Backend::Threads);
         let t0 = Instant::now();
-        let r = run_clean(cfg, &p);
+        let mut r = run_clean(cfg, &p);
         let wall = t0.elapsed().as_secs_f64();
         let wall_1node_secs = (backend == Backend::Threads).then(|| {
             let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1)
@@ -107,6 +128,7 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
             event_slab_high_water: r.event_slab_high_water,
             wall_1node_secs,
             sync: r.sync,
+            wall: r.wall.take(),
         });
     }
     out
@@ -147,12 +169,13 @@ pub fn render(pts: &[PerfPoint]) -> String {
                 p.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
                 if p.sync.windows == 0 { "-".into() } else { p.sync.windows.to_string() },
                 if p.sync.windows == 0 { "-".into() } else { p.sync.msgs_batched().to_string() },
+                p.dominant_stall_cell(),
             ]
         })
         .collect();
     render_table(
         &format!("Host performance — js{NODES}(sun), fixed seeds"),
-        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw", "spdup", "windows", "batched"],
+        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw", "spdup", "windows", "batched", "top stall"],
         &rows,
     )
 }
@@ -206,7 +229,7 @@ pub fn to_json(
             "    {{\"app\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
              \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}{}, \
              \"windows\": {}, \"barrier_waits\": {}, \"frames_sent\": {}, \"msgs_framed\": {}, \
-             \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}}}{}\n",
+             \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}{}}}{}\n",
             p.app,
             p.wall_secs,
             p.ops,
@@ -221,10 +244,50 @@ pub fn to_json(
             p.sync.msgs_framed,
             p.sync.msgs_batched(),
             p.sync.bytes_per_frame_avg(),
+            wall_profile_json(p.wall.as_ref()),
             if i + 1 < pts.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// p50/p90/p99 of a histogram as a JSON object fragment.
+fn hist_json(h: &LogHist) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.percentile(0.50),
+        h.percentile(0.90),
+        h.percentile(0.99)
+    )
+}
+
+/// The per-node stall breakdown + histograms block (empty string when the
+/// point carries no profile, i.e. sim runs).
+fn wall_profile_json(wall: Option<&WallProfile>) -> String {
+    let Some(w) = wall else { return String::new() };
+    let mut s = String::from(", \"wall_profile\": [");
+    for (i, n) in w.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{{\"node\": {}, \"wall_ns\": {}", n.node, n.wall_ns));
+        for k in ALL_SPAN_KINDS {
+            s.push_str(&format!(", \"{}_ns\": {}", k.label(), n.stats_of(k).total_ns));
+        }
+        s.push_str(&format!(
+            ", \"barrier_wait_hist_ns\": {}, \"window_hist_ps\": {}, \"frame_hist_bytes\": {}}}",
+            hist_json(&n.stats_of(SpanKind::BarrierWait).hist),
+            hist_json(&n.window_ps),
+            hist_json(&n.frame_bytes)
+        ));
+    }
+    s.push(']');
+    let dominant = w
+        .dominant_stall()
+        .map(|(k, _)| k.label())
+        .unwrap_or("none");
+    s.push_str(&format!(", \"dominant_stall\": \"{dominant}\""));
     s
 }
 
@@ -264,6 +327,7 @@ mod tests {
             event_slab_high_water: 9,
             wall_1node_secs: Some(6.0),
             sync: SyncStats { windows: 10, barrier_waits: 80, frames_sent: 4, frame_bytes: 400, msgs_framed: 14 },
+            wall: None,
         }];
         let sp = live_speedup(&pts).expect("tsp point carries 1-node wall");
         let j = to_json(&pts, true, Backend::Threads, Lookahead::PerPair, true, Some(&sp));
@@ -299,13 +363,54 @@ mod tests {
             event_slab_high_water: 3,
             wall_1node_secs: None,
             sync: SyncStats::default(),
+            wall: None,
         }];
         assert!(pts[0].speedup().is_none());
         assert!(live_speedup(&pts).is_none());
         let j = to_json(&pts, false, Backend::Sim, Lookahead::default(), true, None);
         assert!(!j.contains("tsp_speedup"));
         assert!(!j.contains("wall_1node_secs"));
+        assert!(!j.contains("wall_profile"));
         assert!(j.contains("\"windows\": 0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn wall_profile_block_carries_breakdown_and_percentiles() {
+        use jsplit_trace::SpanRecorder;
+        use std::time::Instant;
+        // Build a small real profile: two marks and some histogram feed.
+        let mut rec = SpanRecorder::new(Instant::now(), false);
+        rec.mark(SpanKind::Execute);
+        rec.mark(SpanKind::BarrierWait);
+        rec.window_ps.record(500_000);
+        let mut prof = rec.finish(0, 1_000_000);
+        prof.frame_bytes.record(96);
+        let wall = WallProfile { nodes: vec![prof] };
+        let pts = vec![PerfPoint {
+            app: "tsp",
+            wall_secs: 1.0,
+            ops: 100,
+            ops_per_sec: 100.0,
+            virtual_secs: 0.1,
+            msgs_sent: 5,
+            event_slab_high_water: 2,
+            wall_1node_secs: Some(2.0),
+            sync: SyncStats { windows: 1, barrier_waits: 8, frames_sent: 1, frame_bytes: 96, msgs_framed: 1 },
+            wall: Some(wall),
+        }];
+        assert_eq!(pts[0].dominant_stall_cell().split(' ').next(), Some("barrier_wait"));
+        let j = to_json(&pts, true, Backend::Threads, Lookahead::PerPair, true, None);
+        assert!(j.contains("\"wall_profile\": ["));
+        assert!(j.contains("\"node\": 0"));
+        for k in ALL_SPAN_KINDS {
+            assert!(j.contains(&format!("\"{}_ns\":", k.label())), "missing {}", k.label());
+        }
+        assert!(j.contains("\"barrier_wait_hist_ns\": {\"p50\":"));
+        assert!(j.contains("\"window_hist_ps\": {\"p50\":"));
+        assert!(j.contains("\"frame_hist_bytes\": {\"p50\":"));
+        assert!(j.contains("\"dominant_stall\": \"barrier_wait\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

@@ -4,7 +4,7 @@
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
 //!        [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]
-//!        [--trace out.json] [--stats]
+//!        [--trace out.json] [--stats] [--wall-profile]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -24,7 +24,7 @@ fn usage() -> ! {
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
          \x20          [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]\n\
-         \x20          [--trace out.json] [--stats]\n\
+         \x20          [--trace out.json] [--stats] [--wall-profile]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -65,6 +65,7 @@ fn cmd_run(rest: &[String]) {
     let mut balancer = Balancer::LeastLoaded;
     let mut trace_path: Option<String> = None;
     let mut stats = false;
+    let mut wall_profile = false;
     let mut backend = Backend::Sim;
     let mut lookahead = Lookahead::default();
     let mut wire_batch = true;
@@ -105,6 +106,7 @@ fn cmd_run(rest: &[String]) {
             "--no-batch" => wire_batch = false,
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
+            "--wall-profile" => wall_profile = true,
             "--balancer" => {
                 balancer = match it.next().map(String::as_str) {
                     Some("least") => Balancer::LeastLoaded,
@@ -129,13 +131,12 @@ fn cmd_run(rest: &[String]) {
     cfg.backend = backend;
     cfg.lookahead = lookahead;
     cfg.wire_batch = wire_batch;
-    if backend == Backend::Threads && trace_path.is_some() {
-        eprintln!("jsplit: --trace requires --backend sim (event tracing is a sim-backend feature)");
-        std::process::exit(2);
-    }
-    if (trace_path.is_some() || stats) && backend == Backend::Sim {
+    if trace_path.is_some() || stats {
         cfg.trace = Some(jsplit_trace::TraceMode::Full);
     }
+    // Wall-clock span profiling is a threads-backend feature; `--stats`
+    // there includes the stall table too (cheap: aggregates only).
+    cfg.profile = wall_profile || (stats && backend == Backend::Threads);
 
     let report = run_cluster(cfg, &program).unwrap_or_else(|e| {
         eprintln!("jsplit: {e}");
@@ -176,12 +177,20 @@ fn cmd_run(rest: &[String]) {
     }
     if let Some(out) = trace_path {
         let events = report.trace.as_deref().unwrap_or(&[]);
-        let json = jsplit_trace::chrome_trace(events);
+        // One file, two clock domains: virtual-time lanes per node, plus —
+        // on the threads backend — real-time span lanes from the profiler.
+        let json = jsplit_trace::chrome_trace_unified(events, report.wall.as_ref());
         std::fs::write(&out, &json).unwrap_or_else(|e| {
             eprintln!("jsplit: cannot write {out}: {e}");
             std::process::exit(1);
         });
-        eprintln!("[jsplit] wrote {} trace events ({} B) to {out}", events.len(), json.len());
+        let wall_spans: usize = report.wall.as_ref().map_or(0, |w| w.nodes.iter().map(|n| n.spans.len()).sum());
+        eprintln!(
+            "[jsplit] wrote {} trace events + {} wall spans ({} B) to {out}",
+            events.len(),
+            wall_spans,
+            json.len()
+        );
     }
     if report.deadlocked {
         eprintln!("[jsplit] DEADLOCK: live threads could not make progress");

@@ -81,10 +81,17 @@ pub struct ClusterConfig {
     /// per-region coherency units (`None` = paper-prototype behaviour).
     pub array_chunk: Option<u32>,
     /// Structured event tracing (`None` = disabled, the zero-cost default;
-    /// the run behaves bit-identically either way).
+    /// the run behaves bit-identically either way). Works on both backends;
+    /// the threads driver merges per-node streams into the same canonical
+    /// order the sim produces.
     pub trace: Option<TraceMode>,
-    /// Which driver executes the run (sim by default; tracing and mid-run
-    /// joins require the sim backend).
+    /// Wall-clock span profiling (threads backend): per-node stall
+    /// breakdown + latency histograms into `RunReport::wall`. No effect on
+    /// virtual-time results; ignored by the sim backend (its wall time is
+    /// meaningless). Implied by `trace` on the threads backend.
+    pub profile: bool,
+    /// Which driver executes the run (sim by default; mid-run joins still
+    /// require the sim backend).
     pub backend: Backend,
     /// Window-bound strategy for the threads backend.
     pub lookahead: Lookahead,
@@ -109,6 +116,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
             wire_batch: true,
@@ -129,6 +137,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
             wire_batch: true,
@@ -149,6 +158,7 @@ impl ClusterConfig {
             disable_local_locks: false,
             array_chunk: None,
             trace: None,
+            profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
             wire_batch: true,
@@ -189,6 +199,12 @@ impl ClusterConfig {
     /// stream, `Ring(n)` for the last n events).
     pub fn with_trace(mut self, mode: TraceMode) -> Self {
         self.trace = Some(mode);
+        self
+    }
+
+    /// Enable wall-clock span profiling on the threads backend.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -233,6 +249,8 @@ mod tests {
         assert_eq!(t.backend, Backend::Sim);
         let th = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_backend(Backend::Threads);
         assert_eq!(th.backend, Backend::Threads);
+        assert!(!th.profile);
+        assert!(ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_profile(true).profile);
         assert_eq!(th.lookahead, Lookahead::PerPair);
         assert!(th.wire_batch);
         let tuned = ClusterConfig::javasplit(JvmProfile::SunSim, 2)

@@ -381,17 +381,16 @@ impl Cluster {
         let mut out = self.nodes[CONSOLE_NODE as usize].take_console();
         self.console.append(&mut out);
         // Flush every worker's remaining buffered trace events at the
-        // horizon, then order the stream by virtual time (stable, so the
-        // deterministic insertion order breaks ties).
+        // horizon, then canonicalize the stream: per-node recording order
+        // is kept, cross-node ties at equal t break by node id, and thread
+        // uids are renamed by first appearance — the same normal form the
+        // threads driver produces from its per-node sinks, so traces are
+        // byte-comparable across backends.
         let finish = self.nodes.iter().map(|n| n.finish_time).max().unwrap_or(0);
         for n in 0..self.nodes.len() {
             self.drain_trace_buffers(n as NodeId, finish);
         }
-        let trace = self.recorder.take().map(|r| {
-            let mut evs = r.into_events();
-            evs.sort_by_key(|e| e.t);
-            evs
-        });
+        let trace = self.recorder.take().map(|r| jsplit_trace::canonicalize(r.into_events()));
         let (breakdown, lock_stats) = match &trace {
             Some(evs) => {
                 let cpus: Vec<u32> = vec![self.config.cpus_per_node as u32; self.nodes.len()];
@@ -422,6 +421,7 @@ impl Cluster {
             lock_stats,
             host_wall_secs: started.elapsed().as_secs_f64(),
             sync: crate::report::SyncStats::default(),
+            wall: None,
         }
     }
 }

@@ -5,7 +5,7 @@ use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::VmError;
 use jsplit_net::NetStats;
 use jsplit_rewriter::RewriteStats;
-use jsplit_trace::{Event, LockStat, NodeBreakdown};
+use jsplit_trace::{Event, LockStat, NodeBreakdown, SpanKind, WallProfile};
 use std::fmt::Write as _;
 
 /// Synchronization-layer counters from the threads backend (all zero under
@@ -100,6 +100,10 @@ pub struct RunReport {
     pub host_wall_secs: f64,
     /// Threads-backend synchronization counters (zero for sim runs).
     pub sync: SyncStats,
+    /// Wall-clock span profile from the threads backend (`None` for sim
+    /// runs or when profiling is off): per-node stall breakdown summing to
+    /// each thread's wall time, plus latency/size histograms.
+    pub wall: Option<WallProfile>,
 }
 
 impl RunReport {
@@ -187,6 +191,68 @@ impl RunReport {
                     pct(b.fetch_stall_ps),
                     pct(b.ack_wait_ps),
                     pct(b.idle_ps),
+                );
+            }
+        }
+        if self.sync.windows > 0 {
+            let _ = writeln!(
+                s,
+                "sync: {} windows, {} barrier waits, {} frames ({} msgs framed, {} batched, {:.1} B/frame avg)",
+                self.sync.windows,
+                self.sync.barrier_waits,
+                self.sync.frames_sent,
+                self.sync.msgs_framed,
+                self.sync.msgs_batched(),
+                self.sync.bytes_per_frame_avg(),
+            );
+        }
+        if let Some(wall) = &self.wall {
+            let _ = writeln!(
+                s,
+                "{:>4} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+                "node",
+                "wall ms",
+                "exec%",
+                "barr%",
+                "spin%",
+                "cv%",
+                "inbox%",
+                "flush%",
+                "decide%",
+                "barr p50",
+                "barr p90",
+                "barr p99"
+            );
+            for n in &wall.nodes {
+                let tot = n.accounted_ns().max(1) as f64;
+                let pct = |k: SpanKind| 100.0 * n.stats_of(k).total_ns as f64 / tot;
+                let bh = &n.stats_of(SpanKind::BarrierWait).hist;
+                let us = |ns: u64| format!("{:.1}us", ns as f64 / 1_000.0);
+                let _ = writeln!(
+                    s,
+                    "{:>4} {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9} {:>9} {:>9}",
+                    n.node,
+                    n.wall_ns as f64 / 1e6,
+                    pct(SpanKind::Execute),
+                    pct(SpanKind::BarrierWait),
+                    pct(SpanKind::SlotSpin),
+                    pct(SpanKind::CondvarWait),
+                    pct(SpanKind::InboxDrain),
+                    pct(SpanKind::FrameFlush),
+                    pct(SpanKind::Decide),
+                    us(bh.percentile(0.50)),
+                    us(bh.percentile(0.90)),
+                    us(bh.percentile(0.99)),
+                );
+            }
+            if let Some((kind, ns)) = wall.dominant_stall() {
+                let wall_total: u64 = wall.nodes.iter().map(|n| n.accounted_ns()).sum();
+                let _ = writeln!(
+                    s,
+                    "dominant stall: {} ({:.1}% of cluster wall time; window p50 {:.3} us virtual)",
+                    kind.label(),
+                    100.0 * ns as f64 / wall_total.max(1) as f64,
+                    wall.nodes.first().map_or(0.0, |n| n.window_ps.percentile(0.50) as f64 / 1e6),
                 );
             }
         }

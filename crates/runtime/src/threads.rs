@@ -61,9 +61,22 @@
 //! tie-ordering of *distinct nodes'* events at exactly equal virtual
 //! times, which the deterministic key resolves run-to-run reproducibly.
 //!
-//! Restrictions vs the sim driver: no mid-run joins, no tracing (both are
-//! sim-only for now), and the `max_ops` abort guard is enforced at window
-//! granularity rather than per event.
+//! ## Tracing and profiling
+//!
+//! Virtual-time tracing works here too: each node records its own events
+//! into a private `TraceSink` (no cross-thread synchronization), and the
+//! driver merges the per-node streams at join through
+//! [`jsplit_trace::canonicalize`] — the same normal form the sim driver
+//! applies to its global recording — so a traced threads run produces a
+//! byte-identical event stream to the sim backend (asserted by the
+//! differential trace test). Wall-clock profiling ([`ClusterConfig`]'s
+//! `profile`) adds a per-node [`SpanRecorder`]: boundary-timestamp marks
+//! around each phase of the epoch loop (flush / barrier / drain / decide /
+//! spin / condvar / execute), so the span categories tile each thread's
+//! wall time exactly; disabled runs pay one `Option` branch per site.
+//!
+//! Restrictions vs the sim driver: no mid-run joins, and the `max_ops`
+//! abort guard is enforced at window granularity rather than per event.
 
 use crate::balance::{BalancerState, LoadBalancer};
 use crate::config::{ClusterConfig, Lookahead, Mode};
@@ -77,10 +90,24 @@ use jsplit_mjvm::interp::{Frame, VmError};
 use jsplit_mjvm::loader::MethodId;
 use jsplit_mjvm::Value;
 use jsplit_net::{ChannelEndpoint, MeshSetup, NodeId, Reader};
+use jsplit_trace::{
+    Event, NodeWallProfile, RingRecorder, SpanKind, SpanRecorder, TraceEvent, TraceMode, TraceSink,
+    VecRecorder, WallProfile,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Instant;
+
+/// Per-node sink construction (the `Send` bound lets it ride to the node's
+/// OS thread; the sim's global `make_sink` doesn't need one).
+fn make_node_sink(mode: TraceMode) -> Box<dyn TraceSink + Send> {
+    match mode {
+        TraceMode::Full => Box::new(VecRecorder::new()),
+        TraceMode::Ring(cap) => Box::new(RingRecorder::new(cap)),
+    }
+}
 
 /// Per-node aggregates, published once per round. Field stores are plain
 /// (`Relaxed`); the `epoch` release store makes them visible, seqlock
@@ -142,6 +169,12 @@ struct NodeOutcome {
     windows: u64,
     /// `Barrier::wait` calls this node made.
     barrier_waits: u64,
+    /// The node's private trace sink, still open: the driver appends the
+    /// leftover DSM/endpoint buffers (stamped at the *global* finish time,
+    /// which no single node knows) before draining it.
+    recorder: Option<Box<dyn TraceSink + Send>>,
+    /// Wall-clock span profile (`None` unless profiling was on).
+    profile: Option<NodeWallProfile>,
 }
 
 /// A node-local scheduled event (the per-node analogue of the sim driver's
@@ -189,6 +222,14 @@ struct NodeLoop {
     drain_scratch: Vec<(u64, u64, NodeId, u64, Msg)>,
     windows: u64,
     barrier_waits: u64,
+    /// This node's private trace sink (`None` = tracing off). Never shared:
+    /// recording is a plain method call on thread-local state.
+    recorder: Option<Box<dyn TraceSink + Send>>,
+    /// Wall-clock span profiler (`None` = profiling off: one branch/site).
+    profiler: Option<SpanRecorder>,
+    /// Thread start instant, set by the node thread itself; `wall_ns` is
+    /// measured from it independently of the span accounting.
+    t0: Instant,
 }
 
 impl NodeLoop {
@@ -213,6 +254,32 @@ impl NodeLoop {
         uid
     }
 
+    /// Record one trace event at virtual time `t` (no-op when disabled).
+    #[inline]
+    fn record(&mut self, t: u64, ev: TraceEvent) {
+        if let Some(r) = &mut self.recorder {
+            r.record(Event { t, ev });
+        }
+    }
+
+    /// Stamp and flush this node's clock-free DSM trace buffer at `now`,
+    /// then the endpoint's pre-stamped send events — the same order (and
+    /// the same call sites, via `FlushTrace`) as the sim driver's
+    /// `drain_trace_buffers`, so the per-node recorded sequence matches.
+    fn drain_trace(&mut self, now: u64) {
+        let Some(r) = &mut self.recorder else {
+            return;
+        };
+        for ev in self.node.take_dsm_trace() {
+            r.record(Event { t: now, ev });
+        }
+        if let Some(buf) = &mut self.endpoint.trace {
+            for e in buf.drain(..) {
+                r.record(e);
+            }
+        }
+    }
+
     /// Execute a node's effect stream at processing step `step` (the
     /// virtual time of the event being processed).
     fn apply_effects(&mut self, step: u64) {
@@ -227,8 +294,8 @@ impl NodeLoop {
                 Effect::Spawn { now, thread_obj, priority } => {
                     self.dispatch_spawn(now, step, thread_obj, priority);
                 }
-                // Tracing is sim-only; the nodes are built with it off.
-                Effect::Trace { .. } | Effect::FlushTrace { .. } => unreachable!("tracing disabled under threads driver"),
+                Effect::Trace { t, ev } => self.record(t, ev),
+                Effect::FlushTrace { now } => self.drain_trace(now),
             }
         }
         self.fx = fx;
@@ -297,6 +364,9 @@ impl NodeLoop {
                     self.self_inflight += 1;
                 }
                 let msg = self.node.prepare_spawn(thread_obj, priority);
+                if let Msg::SpawnThread { thread_gid, .. } = &msg {
+                    self.record(now, jsplit_trace::TraceEvent::ThreadShip { from: me, to: dst, thread_gid: thread_gid.0 });
+                }
                 self.transmit(now, step, dst, msg);
             }
         }
@@ -360,15 +430,33 @@ impl NodeLoop {
         let mut next_buf = vec![0u64; n];
         loop {
             round += 1;
+            // Span accounting (when on) is boundary-chained: each `mark`
+            // closes the segment since the previous boundary, so the seven
+            // categories tile this thread's wall time with no gaps. The
+            // mark here attributes everything since the last horizon
+            // decision — window processing, plus bootstrap on round 1 — to
+            // Execute.
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Execute);
+            }
             // Everything this node sent in the previous window (and during
             // bootstrap) ships now; the barrier then guarantees every
             // peer's sends are in our channel before we drain. Draining
             // *after* the barrier is load-bearing: a message missed here
             // could fall inside a later (wider) horizon.
             self.endpoint.flush();
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::FrameFlush);
+            }
             shared.barrier.wait();
             self.barrier_waits += 1;
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::BarrierWait);
+            }
             self.drain_inbox();
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::InboxDrain);
+            }
             // Publish this round's aggregates: plain field stores, then
             // the epoch release-store that makes them readable.
             let slot = &shared.slots[me];
@@ -384,15 +472,27 @@ impl NodeLoop {
             // holds it between its failed re-check and parking).
             drop(shared.epoch_lock.lock().unwrap());
             shared.epoch_cv.notify_all();
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Decide);
+            }
             // Wait until every peer has published this round; each thread
             // then derives the same global decision from the same values.
+            // Attribution splits at the first park: time up to it is
+            // SlotSpin, the remainder CondvarWait.
             let published = |shared: &Shared| shared.slots.iter().all(|s| s.epoch.load(Ordering::Acquire) >= round);
             let mut spins = 0u32;
+            let mut parked = false;
             while !published(&shared) {
                 if spins < 64 {
                     spins += 1;
                     std::hint::spin_loop();
                 } else {
+                    if !parked {
+                        parked = true;
+                        if let Some(p) = &mut self.profiler {
+                            p.mark(SpanKind::SlotSpin);
+                        }
+                    }
                     let guard = shared.epoch_lock.lock().unwrap();
                     if published(&shared) {
                         break;
@@ -404,6 +504,9 @@ impl NodeLoop {
                         .wait_timeout(guard, std::time::Duration::from_micros(200))
                         .unwrap();
                 }
+            }
+            if let Some(p) = &mut self.profiler {
+                p.mark(if parked { SpanKind::CondvarWait } else { SpanKind::SlotSpin });
             }
             let mut live = 0u64;
             let mut sent = 0u64;
@@ -458,6 +561,12 @@ impl NodeLoop {
                     }
                 }
             };
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Decide);
+                if horizon != u64::MAX && min_next != u64::MAX {
+                    p.window_ps.record(horizon - min_next);
+                }
+            }
             while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
                 if time >= horizon {
                     break;
@@ -485,6 +594,18 @@ impl NodeLoop {
                 }
             }
         }
+        // Close the final segment (the aggregation/decision that broke the
+        // loop) and reconcile against the independently measured thread
+        // wall time.
+        let profile = self.profiler.take().map(|mut rec| {
+            rec.mark(SpanKind::Decide);
+            let wall_ns = u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let mut p = rec.finish(self.endpoint.id, wall_ns);
+            if let Some(h) = self.endpoint.frame_hist.take() {
+                p.frame_bytes = h;
+            }
+            p
+        });
         NodeOutcome {
             slab_high_water: self.payloads.len() as u64,
             node: self.node,
@@ -494,6 +615,8 @@ impl NodeLoop {
             aborted,
             windows: self.windows,
             barrier_waits: self.barrier_waits,
+            recorder: self.recorder,
+            profile,
         }
     }
 }
@@ -513,10 +636,7 @@ impl ThreadsDriver {
     /// as the sim driver, against the channel transport.
     pub fn new(config: ClusterConfig, program: &jsplit_mjvm::class::Program) -> Result<ThreadsDriver, ClusterError> {
         if !config.joins.is_empty() {
-            return Err(ClusterError::Config("mid-run joins require the sim backend".into()));
-        }
-        if config.trace.is_some() {
-            return Err(ClusterError::Config("tracing requires the sim backend".into()));
+            return Err(ClusterError::Config("the threads backend does not support mid-run joins; use the sim backend".into()));
         }
         let prepared = driver::prepare(&config, program)?;
         let links: Vec<_> = config.nodes.iter().map(|s| driver::link_params(*s)).collect();
@@ -527,6 +647,19 @@ impl ThreadsDriver {
             assert!(l.loopback_ps() <= l.base_ps(), "loopback bound {} ps above link base {} ps", l.loopback_ps(), l.base_ps());
         }
         let mut endpoints = ChannelEndpoint::mesh(&links, config.wire_batch);
+        // Arm the per-endpoint trace/histogram buffers *before* class
+        // shipping so setup-phase `NetSend`s are captured, like the sim's
+        // global network trace.
+        if config.trace.is_some() {
+            for ep in &mut endpoints {
+                ep.trace = Some(Vec::new());
+            }
+        }
+        if config.profile || config.trace.is_some() {
+            for ep in &mut endpoints {
+                ep.frame_hist = Some(jsplit_trace::LogHist::new());
+            }
+        }
         let mut nodes: Vec<NodeRuntime> = config
             .nodes
             .iter()
@@ -580,6 +713,11 @@ impl ThreadsDriver {
         let main_method = self.prepared.image.main_method;
         let main_locals = self.prepared.image.method(main_method).max_locals;
         let balancer = self.config.balancer;
+        let trace_mode = self.config.trace;
+        let profile_on = self.config.profile || trace_mode.is_some();
+        // Raw spans (the Chrome real-time lanes) are only worth their
+        // memory when a trace export was requested.
+        let keep_spans = trace_mode.is_some();
 
         let mut handles = Vec::with_capacity(n);
         for (node, endpoint) in self.nodes.into_iter().zip(self.endpoints) {
@@ -606,8 +744,18 @@ impl ThreadsDriver {
                 drain_scratch: Vec::new(),
                 windows: 0,
                 barrier_waits: 0,
+                recorder: trace_mode.map(make_node_sink),
+                profiler: None,
+                t0: started,
             };
             handles.push(std::thread::spawn(move || {
+                // Wall time and the span origin are anchored at the node
+                // thread itself, so thread-spawn latency stays outside the
+                // profile; `started` remains the shared cross-thread axis.
+                lp.t0 = Instant::now();
+                if profile_on {
+                    lp.profiler = Some(SpanRecorder::new(started, keep_spans));
+                }
                 // The main thread starts on worker 0 (§2), before the first
                 // round so the first published snapshot already counts it.
                 if lp.endpoint.id == CONSOLE_NODE {
@@ -618,6 +766,9 @@ impl ThreadsDriver {
                     lp.fx = fx;
                     lp.apply_effects(0);
                 }
+                // Setup-phase activity (statics bootstrap, class shipping)
+                // is part of the trace; stamp it at t = 0 like the sim.
+                lp.drain_trace(0);
                 lp.run()
             }));
         }
@@ -645,8 +796,49 @@ impl ThreadsDriver {
             frame_bytes: outcomes.iter().map(|o| o.endpoint.frame_stats.frame_bytes).sum(),
             msgs_framed: outcomes.iter().map(|o| o.endpoint.frame_stats.msgs_framed).sum(),
         };
+        let finish = outcomes.iter().map(|o| o.node.finish_time).max().unwrap_or(0);
+        // Merge the per-node streams into the sim's canonical normal form:
+        // flush each node's leftover buffers at the global finish time
+        // (exactly what the sim's final `drain_trace_buffers` pass does),
+        // concatenate in node order, then canonicalize — the result is
+        // byte-identical to a sim trace of the same program as long as each
+        // node records the same per-node event sequence, which the
+        // differential trace tests assert.
+        let trace = if trace_mode.is_some() {
+            let mut all: Vec<Event> = Vec::new();
+            for o in &mut outcomes {
+                let Some(r) = &mut o.recorder else { continue };
+                for ev in o.node.take_dsm_trace() {
+                    r.record(Event { t: finish, ev });
+                }
+                if let Some(buf) = &mut o.endpoint.trace {
+                    for e in buf.drain(..) {
+                        r.record(e);
+                    }
+                }
+                all.extend(o.recorder.take().expect("recorder present").into_events());
+            }
+            Some(jsplit_trace::canonicalize(all))
+        } else {
+            None
+        };
+        let (breakdown, lock_stats) = match &trace {
+            Some(evs) => {
+                let cpus: Vec<u32> = vec![self.config.cpus_per_node as u32; outcomes.len()];
+                (
+                    jsplit_trace::node_breakdown(evs, &cpus, finish),
+                    jsplit_trace::lock_contention(evs),
+                )
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let wall = if profile_on {
+            Some(WallProfile { nodes: outcomes.iter_mut().filter_map(|o| o.profile.take()).collect() })
+        } else {
+            None
+        };
         RunReport {
-            exec_time_ps: outcomes.iter().map(|o| o.node.finish_time).max().unwrap_or(0),
+            exec_time_ps: finish,
             output: console,
             errors,
             deadlocked,
@@ -660,11 +852,12 @@ impl ThreadsDriver {
             class_bytes: self.prepared.class_bytes as u64,
             event_slab_high_water: outcomes.iter().map(|o| o.slab_high_water).max().unwrap_or(0),
             ops_per_node: outcomes.iter().map(|o| o.node.ops).collect(),
-            trace: None,
-            breakdown: Vec::new(),
-            lock_stats: Vec::new(),
+            trace,
+            breakdown,
+            lock_stats,
             host_wall_secs,
             sync,
+            wall,
         }
     }
 }

@@ -1,0 +1,108 @@
+//! Backend-independent canonical ordering of a recorded event stream.
+//!
+//! The sim driver records events in global dispatch order and the threads
+//! driver records per-node streams on separate OS threads — two encodings of
+//! the *same* per-node histories. Two incidental details would otherwise
+//! leak the backend into the bytes of the stream:
+//!
+//! 1. **Tie order across nodes.** At equal virtual time `t`, the sim's
+//!    recording order interleaves nodes by global dispatch order, which no
+//!    per-node view can reconstruct.
+//! 2. **Thread-uid allocation.** The sim hands out dense global uids at
+//!    install time; the threads driver strides them per node (`id + k·n`).
+//!
+//! [`canonicalize`] erases both: it keys every event with its node's
+//! recording sequence number, sorts by `(t, node, seq)` — so per-node order
+//! is preserved exactly and cross-node ties break by node id — and then
+//! renames thread uids to first-appearance order over that canonical
+//! stream. Two backends that produce identical per-node histories therefore
+//! produce byte-identical canonical streams, which is what the cross-backend
+//! differential trace test asserts.
+
+use crate::event::{Event, ThreadUid};
+use std::collections::HashMap;
+
+/// Canonically order a recorded stream (see module docs). The input is the
+/// concatenation of per-node record-order streams — either a single global
+/// recording (sim) or per-node sink contents chained in node order
+/// (threads); per-node subsequence order is all that matters.
+pub fn canonicalize(events: Vec<Event>) -> Vec<Event> {
+    let mut seq: HashMap<u16, u64> = HashMap::new();
+    let mut keyed: Vec<(Event, u64)> = events
+        .into_iter()
+        .map(|e| {
+            let s = seq.entry(e.ev.node()).or_insert(0);
+            let k = *s;
+            *s += 1;
+            (e, k)
+        })
+        .collect();
+    keyed.sort_by_key(|(e, s)| (e.t, e.ev.node(), *s));
+
+    // Rename uids densely by first appearance in canonical order. A uid's
+    // first appearance is its ThreadSpawn (nothing can reference a thread
+    // before it is installed), so the renaming is the same for any backend
+    // that agrees on per-node histories.
+    let mut rename: HashMap<ThreadUid, ThreadUid> = HashMap::new();
+    let mut out: Vec<Event> = Vec::with_capacity(keyed.len());
+    for (mut e, _) in keyed {
+        if let Some(u) = e.ev.thread_uid_mut() {
+            let next = rename.len() as ThreadUid;
+            *u = *rename.entry(*u).or_insert(next);
+        }
+        out.push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn spawn(t: u64, node: u16, thread: ThreadUid) -> Event {
+        Event { t, ev: TraceEvent::ThreadSpawn { node, thread } }
+    }
+
+    fn exit(t: u64, node: u16, thread: ThreadUid) -> Event {
+        Event { t, ev: TraceEvent::ThreadExit { node, thread } }
+    }
+
+    #[test]
+    fn per_node_order_is_preserved_and_ties_break_by_node() {
+        // Recording order interleaves nodes; node 1's events arrive first.
+        let stream = vec![spawn(5, 1, 100), spawn(5, 0, 200), exit(5, 1, 100), exit(9, 0, 200)];
+        let c = canonicalize(stream);
+        // At t=5 node 0 sorts before node 1; node 1's two events keep order.
+        assert!(matches!(c[0].ev, TraceEvent::ThreadSpawn { node: 0, .. }));
+        assert!(matches!(c[1].ev, TraceEvent::ThreadSpawn { node: 1, .. }));
+        assert!(matches!(c[2].ev, TraceEvent::ThreadExit { node: 1, .. }));
+        assert_eq!(c[3].t, 9);
+    }
+
+    #[test]
+    fn uid_renaming_erases_allocation_policy() {
+        // Same histories, one backend using dense uids (0,1), the other
+        // strided (0, 2) — canonical streams must be byte-identical.
+        let dense = vec![spawn(0, 0, 0), spawn(3, 1, 1), exit(7, 1, 1), exit(8, 0, 0)];
+        let strided = vec![spawn(0, 0, 0), spawn(3, 1, 3), exit(7, 1, 3), exit(8, 0, 0)];
+        assert_eq!(canonicalize(dense), canonicalize(strided));
+    }
+
+    #[test]
+    fn renaming_is_a_bijection_in_first_appearance_order() {
+        let stream = vec![spawn(0, 0, 42), spawn(1, 1, 7), exit(2, 0, 42), exit(3, 1, 7)];
+        let c = canonicalize(stream);
+        assert!(matches!(c[0].ev, TraceEvent::ThreadSpawn { thread: 0, .. }));
+        assert!(matches!(c[1].ev, TraceEvent::ThreadSpawn { thread: 1, .. }));
+        assert!(matches!(c[2].ev, TraceEvent::ThreadExit { thread: 0, .. }));
+        assert!(matches!(c[3].ev, TraceEvent::ThreadExit { thread: 1, .. }));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let stream = vec![spawn(5, 1, 9), spawn(5, 0, 4), exit(6, 1, 9)];
+        let once = canonicalize(stream);
+        assert_eq!(canonicalize(once.clone()), once);
+    }
+}

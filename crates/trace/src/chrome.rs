@@ -11,8 +11,17 @@
 //!
 //! The format is the "JSON Array Format" of the Trace Event spec wrapped in
 //! `{"traceEvents": [...]}`; all strings we emit are ASCII without escapes.
+//!
+//! [`chrome_trace_unified`] additionally renders a **second clock domain**:
+//! real-time wall spans from the threads backend's per-node profiler. The
+//! two domains share the one timeline axis the format offers, so they are
+//! kept apart by pid namespace — virtual-time lanes use `pid = node`, wall
+//! lanes use `pid = 100000 + node` ("node N wall-clock") — and by category
+//! (`"wall"` vs `"cpu"`/`"stall"`/`"net"`/`"dsm"`). Within the wall lanes,
+//! timestamps are real microseconds since the driver's shared start instant.
 
 use crate::event::{Event, NodeId, Ps, TraceEvent};
+use crate::wall::WallProfile;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
 
@@ -20,10 +29,17 @@ use std::fmt::Write as _;
 const NET_TID: u64 = 9_000_000;
 /// Pseudo-tid for the per-node DSM-protocol instant lane.
 const DSM_TID: u64 = 9_000_001;
+/// Pid offset for real-time wall lanes (> u16::MAX, so node pids can't collide).
+const WALL_PID_BASE: u64 = 100_000;
 
 fn us(ps: Ps) -> String {
     // 1 µs = 1e6 ps; six fractional digits keep full picosecond precision.
     format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+fn us_from_ns(ns: u64) -> String {
+    // Wall lanes: 1 µs = 1e3 ns; three fractional digits keep nanoseconds.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -43,6 +59,13 @@ fn push_event(out: &mut String, ph: char, name: &str, cat: &str, pid: NodeId, ti
 
 /// Render a full event stream as Chrome trace-event JSON.
 pub fn chrome_trace(events: &[Event]) -> String {
+    chrome_trace_unified(events, None)
+}
+
+/// Render the virtual-time event stream plus (optionally) the threads
+/// backend's real-time wall spans as one Chrome trace with two clock
+/// domains (see module docs for the pid-namespace mapping).
+pub fn chrome_trace_unified(events: &[Event], wall: Option<&WallProfile>) -> String {
     // Pass 1: discover nodes and threads (for metadata), index lock
     // acquires and fetch completions (for flow binding).
     let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
@@ -225,6 +248,43 @@ pub fn chrome_trace(events: &[Event]) -> String {
         push_event(&mut out, 'X', name, "stall", node, thread as u64, t0, &extra);
     }
 
+    // Second clock domain: real-time wall lanes (threads-backend profiler).
+    if let Some(w) = wall {
+        for n in &w.nodes {
+            if n.spans.is_empty() {
+                continue;
+            }
+            let pid = WALL_PID_BASE + n.node as u64;
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"args\":{{\"name\":\"node {} wall-clock\"}}}},",
+                pid, n.node
+            );
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"epoch loop\"}}}},",
+                pid
+            );
+            for s in &n.spans {
+                let _ = writeln!(
+                    out,
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"wall\",\"pid\":{},\"tid\":0,\"ts\":{},\"dur\":{}}},",
+                    s.kind.label(),
+                    pid,
+                    us_from_ns(s.start_ns),
+                    us_from_ns(s.dur_ns)
+                );
+            }
+            if n.spans_dropped > 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"ph\":\"M\",\"name\":\"spans_dropped\",\"pid\":{},\"args\":{{\"count\":{}}}}},",
+                    pid, n.spans_dropped
+                );
+            }
+        }
+    }
+
     // Closing sentinel avoids trailing-comma bookkeeping at every emit site.
     let _ = writeln!(
         out,
@@ -296,6 +356,39 @@ mod tests {
         validate_json(&json).unwrap();
         assert_eq!(count_exported(&json, 's', "lock-grant"), 1);
         assert_eq!(count_exported(&json, 'f', "lock-grant"), 0);
+    }
+
+    #[test]
+    fn unified_export_adds_wall_lanes_in_their_own_pid_namespace() {
+        use crate::wall::{NodeWallProfile, SpanKind, WallProfile, WallSpan};
+        use crate::hist::LogHist;
+        let wall = WallProfile {
+            nodes: vec![NodeWallProfile {
+                node: 2,
+                wall_ns: 3_000,
+                kinds: Vec::new(),
+                window_ps: LogHist::new(),
+                frame_bytes: LogHist::new(),
+                spans: vec![
+                    WallSpan { kind: SpanKind::Execute, start_ns: 0, dur_ns: 1_500 },
+                    WallSpan { kind: SpanKind::BarrierWait, start_ns: 1_500, dur_ns: 1_500 },
+                ],
+                spans_dropped: 0,
+            }],
+        };
+        let json = chrome_trace_unified(&sample(), Some(&wall));
+        validate_json(&json).unwrap();
+        // Wall lanes live at pid 100000 + node, category "wall".
+        assert!(json.contains("\"pid\":100002"));
+        assert!(json.contains("\"name\":\"node 2 wall-clock\""));
+        assert_eq!(count_exported(&json, 'X', "barrier_wait"), 1);
+        assert_eq!(count_exported(&json, 'X', "execute"), 1);
+        // 1500 ns -> 1.500 µs in the real-time domain.
+        assert!(json.contains("\"ts\":1.500"));
+        // Virtual lanes are unchanged relative to the plain export.
+        assert_eq!(count_exported(&json, 'X', "run"), 1);
+        // And with no wall profile the unified export equals the plain one.
+        assert_eq!(chrome_trace_unified(&sample(), None), chrome_trace(&sample()));
     }
 
     #[test]

@@ -176,6 +176,35 @@ impl TraceEvent {
     pub fn is_net(&self) -> bool {
         matches!(self, TraceEvent::NetSend { .. })
     }
+
+    /// The thread uid this event names, if any (each variant carries at most
+    /// one). Mutable so [`crate::canonicalize`] can rename uids into the
+    /// backend-independent dense namespace.
+    pub fn thread_uid_mut(&mut self) -> Option<&mut ThreadUid> {
+        match self {
+            TraceEvent::ThreadSpawn { thread, .. }
+            | TraceEvent::ThreadReady { thread, .. }
+            | TraceEvent::Slice { thread, .. }
+            | TraceEvent::ThreadBlock { thread, .. }
+            | TraceEvent::ThreadExit { thread, .. }
+            | TraceEvent::LockRequest { thread, .. }
+            | TraceEvent::LockAcquire { thread, .. }
+            | TraceEvent::FetchRequest { thread, .. }
+            | TraceEvent::WaitPark { thread, .. }
+            | TraceEvent::Notify { thread, .. } => Some(thread),
+            TraceEvent::LockGrant { to_thread, .. } => Some(to_thread),
+            TraceEvent::ThreadShip { .. }
+            | TraceEvent::LockHomeRelease { .. }
+            | TraceEvent::DiffFlush { .. }
+            | TraceEvent::DiffAck { .. }
+            | TraceEvent::AckWaitBegin { .. }
+            | TraceEvent::AckWaitEnd { .. }
+            | TraceEvent::FetchDone { .. }
+            | TraceEvent::Invalidate { .. }
+            | TraceEvent::Promote { .. }
+            | TraceEvent::NetSend { .. } => None,
+        }
+    }
 }
 
 /// A stamped event: virtual time plus payload.

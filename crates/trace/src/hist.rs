@@ -1,0 +1,240 @@
+//! Log-bucket latency/size histograms (HDR style, powers of √2).
+//!
+//! Wall-clock observations on the threads backend span nanoseconds (a slot
+//! spin) to seconds (a full window of execution) — six orders of magnitude.
+//! A fixed-bucket histogram either loses the tail or the head; a powers-of-√2
+//! geometry gives ~±19% relative resolution everywhere with a fixed, small
+//! footprint (130 counters cover all of `u64`). Recording is one `u128`
+//! multiply and a leading-zeros count — cheap enough for per-round hot paths.
+
+/// Bucket count: index 0 holds exact zeros, index `1 + k` holds values in
+/// `(√2^(k-1), √2^k]` for `k = 0..=128`. `√2^128 = 2^64 > u64::MAX`, so the
+/// top index doubles as the overflow bucket (nothing can land beyond it).
+pub const HIST_BUCKETS: usize = 130;
+
+/// √2 as a Q32.32 fixed-point constant (for bucket upper edges). Floored,
+/// so odd-k edges under-approximate by at most one unit — edges are labels
+/// for display and percentiles, not bucketing boundaries (those are exact
+/// via the integer v² comparison in [`bucket_of`]).
+const SQRT2_Q32: u128 = 6_074_000_999; // floor(√2 · 2^32)
+
+/// A powers-of-√2 log-bucket histogram over `u64` observations.
+#[derive(Debug, Clone)]
+pub struct LogHist {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist { counts: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+/// Bucket index of one observation: 0 for 0, else `1 + ceil(2·log2(v))`,
+/// capped at the top (overflow) bucket.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    // ceil(2·log2 v) = ceil(log2 v²), computed exactly in integers.
+    let sq = (v as u128) * (v as u128);
+    let k = (128 - (sq - 1).leading_zeros()) as usize;
+    (1 + k).min(HIST_BUCKETS - 1)
+}
+
+/// Upper edge of bucket `idx` (the largest value it can hold; saturating).
+pub fn bucket_edge(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let k = (idx - 1) as u32;
+    if k >= 128 {
+        return u64::MAX;
+    }
+    // √2^k = 2^(k/2) (k even) or 2^((k-1)/2)·√2 (k odd), floored.
+    let base: u128 = 1u128 << (k / 2);
+    let edge = if k.is_multiple_of(2) { base } else { (base * SQRT2_Q32) >> 32 };
+    u64::try_from(edge).unwrap_or(u64::MAX)
+}
+
+impl LogHist {
+    pub fn new() -> LogHist {
+        LogHist::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Occupancy of one bucket (test/inspection hook).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket that
+    /// contains it, clamped to the observed maximum — so `percentile(1.0)`
+    /// never over-reports past `max()`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_and_boundaries() {
+        // 0 is its own bucket; 1 = √2^0 is the first log bucket.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        // 2 = √2^2 lands at k=2; 3 ∈ (√2^3 ≈ 2.83, √2^4 = 4] lands at k=4.
+        assert_eq!(bucket_of(2), 3);
+        assert_eq!(bucket_of(3), 5);
+        assert_eq!(bucket_of(4), 5);
+        // Exact powers of two sit on even-k edges: v = 2^m → k = 2m.
+        for m in 1..63u32 {
+            assert_eq!(bucket_of(1u64 << m), 1 + 2 * m as usize, "2^{m}");
+        }
+        // One past an even edge spills into the next (odd-k) bucket — valid
+        // from m=2 up, where 2^m + 1 ≤ √2·2^m (m=1's 3 > 2.83 skips to k=4,
+        // asserted above).
+        for m in 2..63u32 {
+            assert_eq!(bucket_of((1u64 << m) + 1), 2 + 2 * m as usize, "2^{m}+1");
+        }
+        // Edges are consistent with membership. Even-k edges (exact powers
+        // of two) are exact: the edge is in its bucket and edge+1 spills.
+        // Odd-k edges are floored irrationals (some low ones, like (1, √2],
+        // contain no integer at all), so only ≤ and monotonicity hold.
+        for b in 1..HIST_BUCKETS - 1 {
+            let e = bucket_edge(b);
+            if e == 0 || e == u64::MAX {
+                continue;
+            }
+            assert!(bucket_of(e) <= b, "edge of {b}");
+            assert!(e >= bucket_edge(b - 1), "monotone at {b}");
+            if (b - 1) % 2 == 0 {
+                assert_eq!(bucket_of(e), b, "even-k edge of {b}");
+                assert!(bucket_of(e + 1) > b, "even-k edge+1 of {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_overflow_bucket() {
+        // u64::MAX > √2^127, so it must land in the top (overflow) bucket,
+        // never out of bounds.
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), 127);
+        assert_eq!(bucket_edge(HIST_BUCKETS - 1), u64::MAX);
+        let mut h = LogHist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(HIST_BUCKETS - 1), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = LogHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        // Bucket edges over-approximate by at most √2.
+        assert!((500..=708).contains(&p50), "p50 = {p50}");
+        assert!((900..=1000).contains(&p90), "p90 = {p90}");
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= h.max());
+        assert_eq!(h.percentile(0.0), h.percentile(1e-9));
+    }
+
+    #[test]
+    fn zeros_percentile_and_mean() {
+        let mut h = LogHist::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(100);
+        assert!(h.percentile(1.0) <= 100);
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (mut a, mut b) = (LogHist::new(), LogHist::new());
+        a.record(5);
+        b.record(7);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 12);
+        assert_eq!(a.max(), 7);
+        assert_eq!(a.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

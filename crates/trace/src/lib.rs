@@ -25,15 +25,24 @@
 //!   stamps its own events. Identical seed ⇒ byte-identical stream.
 
 mod breakdown;
+mod canonical;
 mod chrome;
 mod event;
+mod hist;
 mod json;
 mod locks;
 mod sink;
+mod wall;
 
 pub use breakdown::{node_breakdown, NodeBreakdown};
-pub use chrome::{chrome_trace, count_exported};
+pub use canonical::canonicalize;
+pub use chrome::{chrome_trace, chrome_trace_unified, count_exported};
 pub use event::{BlockReason, Event, NetKind, NodeId, Ps, ThreadUid, TraceEvent, TraceMode};
+pub use hist::{bucket_edge, bucket_of, LogHist, HIST_BUCKETS};
 pub use json::validate_json;
 pub use locks::{lock_contention, LockStat};
 pub use sink::{make_sink, RingRecorder, TraceSink, VecRecorder};
+pub use wall::{
+    KindStats, NodeWallProfile, SpanKind, SpanRecorder, WallProfile, WallSpan, ALL_SPAN_KINDS,
+    MAX_RAW_SPANS, SPAN_KINDS,
+};

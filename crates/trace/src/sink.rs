@@ -129,6 +129,60 @@ mod tests {
     }
 
     #[test]
+    fn ring_recorder_at_exactly_cap_has_not_wrapped() {
+        // cap events: buffer full, head still 0 — recording order intact.
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(8));
+        for t in 0..8 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 8);
+        let out = s.into_events();
+        assert_eq!(out.iter().map(|e| e.t).collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_recorder_at_cap_plus_one_evicts_only_the_oldest() {
+        // cap+1 events: exactly one eviction; the wrap seam sits after the
+        // overwritten slot and into_events unrotates across it.
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(8));
+        for t in 0..9 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 8);
+        let out = s.into_events();
+        assert_eq!(out.iter().map(|e| e.t).collect::<Vec<_>>(), (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_recorder_multi_lap_redrain_order() {
+        // Several full laps later the drain must still be oldest→newest,
+        // and a fresh recorder fed the drained output reproduces it (the
+        // "re-drain" round trip used by the threads-driver merge).
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(4));
+        for t in 0..23 {
+            s.record(ev(t));
+        }
+        let out = s.into_events();
+        assert_eq!(out.iter().map(|e| e.t).collect::<Vec<_>>(), vec![19, 20, 21, 22]);
+        let mut s2: Box<dyn TraceSink> = Box::new(RingRecorder::new(4));
+        for e in &out {
+            s2.record(*e);
+        }
+        assert_eq!(s2.into_events(), out);
+    }
+
+    #[test]
+    fn ring_recorder_cap_one_keeps_only_newest() {
+        let mut s: Box<dyn TraceSink> = Box::new(RingRecorder::new(1));
+        for t in 0..3 {
+            s.record(ev(t));
+        }
+        let out = s.into_events();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].t, 2);
+    }
+
+    #[test]
     fn make_sink_honours_mode() {
         let mut s = make_sink(TraceMode::Ring(2));
         for t in 0..10 {
