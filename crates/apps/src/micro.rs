@@ -289,6 +289,74 @@ pub fn block_array_kernel(len: i32, threads: i32) -> Program {
     pb.build_with_stdlib()
 }
 
+/// Skewed variant of [`block_array_kernel`]: worker 0 refills its block
+/// `skew` times (idempotent overwrites — the checksum is unchanged), every
+/// other worker once. One straggler node doing ~`skew`× the work is the
+/// barrier-convoy scenario: under epoch sync each round is paced by the
+/// slow node, under async sync the fast nodes run ahead to their own
+/// horizons and park — the wall-clock gap between the two sync modes on
+/// this kernel is what the convoy-regression tests measure.
+pub fn skewed_block_array_kernel(len: i32, threads: i32, skew: i32) -> Program {
+    let block = len / threads;
+    assert!(block > 0 && len % threads == 0 && skew > 0);
+    let mut pb = ProgramBuilder::new("micro.Main");
+    pb.class("micro.SW", "java.lang.Thread", |cb| {
+        cb.field("arr", Ty::Ref).field("id", Ty::I32);
+        cb.method("<init>", &[Ty::Ref, Ty::I32], None, |m| {
+            m.load(0).invokespecial("java.lang.Thread", "<init>", &[], None);
+            m.load(0).load(1).putfield("micro.SW", "arr");
+            m.load(0).load(2).putfield("micro.SW", "id").ret();
+        });
+        cb.method("run", &[], None, move |m| {
+            // local 1 = inner index, 2 = repetitions left (skew for worker
+            // 0, 1 for everyone else), computed in bytecode from the id.
+            let other = m.new_label();
+            let reps_done = m.new_label();
+            m.load(0).getfield("micro.SW", "id").const_i32(0).if_icmp(Cmp::Ne, other);
+            m.const_i32(skew).store(2).goto(reps_done);
+            m.bind(other).const_i32(1).store(2);
+            m.bind(reps_done);
+            let rep_top = m.new_label();
+            let rep_end = m.new_label();
+            m.bind(rep_top);
+            m.load(2).const_i32(0).if_icmp(Cmp::Le, rep_end);
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i32(0).store(1);
+            m.bind(top);
+            m.load(1).const_i32(block).if_icmp(Cmp::Ge, end);
+            m.load(0).getfield("micro.SW", "arr");
+            m.load(0).getfield("micro.SW", "id").const_i32(block).imul().load(1).iadd();
+            m.load(0).getfield("micro.SW", "id").const_i32(1000).imul().load(1).iadd();
+            m.astore(ElemTy::I32);
+            m.iinc(1, 1).goto(top);
+            m.bind(end).iinc(2, -1).goto(rep_top);
+            m.bind(rep_end).ret();
+        });
+    });
+    pb.class("micro.Main", "java.lang.Object", |cb| {
+        cb.static_method("main", &[], None, move |m| {
+            m.const_i32(len).newarray(ElemTy::I32).store(0);
+            m.const_i32(threads).newarray(ElemTy::Ref).store(1);
+            crate::common::spawn_join_all(m, threads, 1, 2, |m| {
+                m.construct("micro.SW", &[Ty::Ref, Ty::I32], |m| {
+                    m.load(0).load(2);
+                });
+            });
+            let top = m.new_label();
+            let end = m.new_label();
+            m.const_i64(0).store(3).const_i32(0).store(2);
+            m.bind(top);
+            m.load(2).const_i32(len).if_icmp(Cmp::Ge, end);
+            m.load(3).load(0).load(2).aload(ElemTy::I32).i2l().ladd().store(3);
+            m.iinc(2, 1).goto(top);
+            m.bind(end).load(3).println_i64();
+            m.ret();
+        });
+    });
+    pb.build_with_stdlib()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +386,17 @@ mod tests {
         let r = run_program(&vector_sync_kernel(20));
         assert!(r.errors.is_empty(), "{:?}", r.errors);
         assert_eq!(r.output, vec!["0"]);
+    }
+
+    #[test]
+    fn skewed_kernel_matches_uniform_checksum_and_is_slower() {
+        let uniform = run_program(&block_array_kernel(32, 4));
+        let skewed = run_program(&skewed_block_array_kernel(32, 4, 8));
+        assert!(skewed.errors.is_empty(), "{:?}", skewed.errors);
+        // The extra passes are idempotent overwrites: same checksum...
+        assert_eq!(uniform.output, skewed.output);
+        // ...but worker 0 really does ~8x the work.
+        assert!(skewed.time_ps > uniform.time_ps);
     }
 
     #[test]

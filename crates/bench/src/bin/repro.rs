@@ -10,11 +10,14 @@
 //! (the §6 heterogeneous-cluster and mid-run-join demonstrations), `all`.
 //!
 //! `repro perf [--smoke] [--backend sim|threads] [--lookahead global|per_pair]
-//! [--no-batch]` is separate from `all`: it measures *host* wall-clock and
-//! ops/sec (nondeterministic) and writes `BENCH_PERF.json` at the repo root
-//! — or, with `--backend threads`, real-parallel-execution numbers (one OS
-//! thread per node) with per-app 8-vs-1-node speedups and synchronization
-//! counters to `BENCH_LIVE.json`.
+//! [--sync epoch|async|both] [--no-batch]` is separate from `all`: it
+//! measures *host* wall-clock and ops/sec (nondeterministic) and writes
+//! `BENCH_PERF.json` at the repo root — or, with `--backend threads`,
+//! real-parallel-execution numbers (one OS thread per node) with per-app
+//! 8-vs-1-node speedups and synchronization counters to `BENCH_LIVE.json`.
+//! Threads runs default to `--sync both`: one row set per sync protocol,
+//! so the barrier-epoch and async-promise drivers are always measured
+//! side by side.
 //!
 //! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
@@ -23,7 +26,7 @@
 use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, ClusterConfig, Lookahead, NodeSpec};
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, NodeSpec, SyncMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +61,25 @@ fn main() {
             },
         };
         let wire_batch = !args.iter().any(|a| a == "--no-batch");
-        let pts = perf::run(smoke, backend, lookahead, wire_batch);
+        // Sync protocol only exists on the threads backend; there the
+        // default is measuring both, so BENCH_LIVE.json always carries the
+        // epoch-vs-async comparison.
+        let syncs: Vec<SyncMode> = match args.iter().position(|a| a == "--sync") {
+            None => match backend {
+                Backend::Sim => vec![SyncMode::Epoch],
+                Backend::Threads => vec![SyncMode::Epoch, SyncMode::Async],
+            },
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("epoch") => vec![SyncMode::Epoch],
+                Some("async") => vec![SyncMode::Async],
+                Some("both") => vec![SyncMode::Epoch, SyncMode::Async],
+                other => {
+                    eprintln!("repro perf: unknown --sync {other:?} (want epoch|async|both)");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let pts = perf::run(smoke, backend, lookahead, wire_batch, &syncs);
         print!("{}", perf::render(&pts));
         let speedup = perf::live_speedup(&pts);
         if let Some(sp) = &speedup {

@@ -27,12 +27,16 @@ use std::time::Instant;
 use crate::measure::{render_table, run_clean};
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
-use jsplit_runtime::{Backend, ClusterConfig, Lookahead, SyncStats};
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, SyncMode, SyncStats};
 use jsplit_trace::{LogHist, SpanKind, WallProfile, ALL_SPAN_KINDS};
 
 /// One measured workload.
 pub struct PerfPoint {
     pub app: &'static str,
+    /// Synchronization protocol the threads backend ran under (epoch
+    /// barriers or asynchronous per-pair promises); `Epoch` for sim runs,
+    /// where the knob has no effect.
+    pub sync_mode: SyncMode,
     /// Host wall-clock for the whole `run_cluster` call (setup + run).
     pub wall_secs: f64,
     /// Interpreted instructions retired across all nodes.
@@ -96,40 +100,47 @@ fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
 }
 
 /// Run all workloads on the fixed cluster configuration with the given
-/// execution backend. Threads runs also measure each workload on a 1-node
-/// cluster for the per-app live speedup.
-pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool) -> Vec<PerfPoint> {
+/// execution backend, once per requested sync mode (the knob only matters
+/// on the threads backend; sim callers pass a single mode). Threads runs
+/// also measure each workload on a 1-node cluster for the per-app live
+/// speedup.
+pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool, syncs: &[SyncMode]) -> Vec<PerfPoint> {
     let mut out = Vec::new();
-    for (app, p) in workloads(smoke) {
-        let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
-            .with_backend(backend)
-            .with_lookahead(lookahead)
-            .with_wire_batch(wire_batch)
-            .with_profile(backend == Backend::Threads);
-        let t0 = Instant::now();
-        let mut r = run_clean(cfg, &p);
-        let wall = t0.elapsed().as_secs_f64();
-        let wall_1node_secs = (backend == Backend::Threads).then(|| {
-            let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1)
+    for &sync_mode in syncs {
+        for (app, p) in workloads(smoke) {
+            let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
                 .with_backend(backend)
                 .with_lookahead(lookahead)
-                .with_wire_batch(wire_batch);
+                .with_sync(sync_mode)
+                .with_wire_batch(wire_batch)
+                .with_profile(backend == Backend::Threads);
             let t0 = Instant::now();
-            run_clean(cfg, &p);
-            t0.elapsed().as_secs_f64()
-        });
-        out.push(PerfPoint {
-            app,
-            wall_secs: wall,
-            ops: r.ops,
-            ops_per_sec: r.ops as f64 / wall.max(1e-9),
-            virtual_secs: r.exec_time_secs(),
-            msgs_sent: r.net_total().msgs_sent,
-            event_slab_high_water: r.event_slab_high_water,
-            wall_1node_secs,
-            sync: r.sync,
-            wall: r.wall.take(),
-        });
+            let mut r = run_clean(cfg, &p);
+            let wall = t0.elapsed().as_secs_f64();
+            let wall_1node_secs = (backend == Backend::Threads).then(|| {
+                let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 1)
+                    .with_backend(backend)
+                    .with_lookahead(lookahead)
+                    .with_sync(sync_mode)
+                    .with_wire_batch(wire_batch);
+                let t0 = Instant::now();
+                run_clean(cfg, &p);
+                t0.elapsed().as_secs_f64()
+            });
+            out.push(PerfPoint {
+                app,
+                sync_mode,
+                wall_secs: wall,
+                ops: r.ops,
+                ops_per_sec: r.ops as f64 / wall.max(1e-9),
+                virtual_secs: r.exec_time_secs(),
+                msgs_sent: r.net_total().msgs_sent,
+                event_slab_high_water: r.event_slab_high_water,
+                wall_1node_secs,
+                sync: r.sync,
+                wall: r.wall.take(),
+            });
+        }
     }
     out
 }
@@ -148,10 +159,20 @@ impl LiveSpeedup {
 }
 
 /// Derive the headline TSP speedup from an already-measured point set.
+/// Pinned to the epoch-sync row so the number stays comparable across
+/// baselines that predate the `--sync` knob (and so the CI convoy guard
+/// has a stable denominator).
 pub fn live_speedup(pts: &[PerfPoint]) -> Option<LiveSpeedup> {
-    pts.iter().find(|p| p.app == "tsp").and_then(|p| {
+    pts.iter().find(|p| p.app == "tsp" && p.sync_mode == SyncMode::Epoch).and_then(|p| {
         p.wall_1node_secs.map(|w1| LiveSpeedup { wall_1node_secs: w1, wall_8node_secs: p.wall_secs })
     })
+}
+
+fn sync_name(sync: SyncMode) -> &'static str {
+    match sync {
+        SyncMode::Epoch => "epoch",
+        SyncMode::Async => "async",
+    }
 }
 
 pub fn render(pts: &[PerfPoint]) -> String {
@@ -160,6 +181,7 @@ pub fn render(pts: &[PerfPoint]) -> String {
         .map(|p| {
             vec![
                 p.app.to_string(),
+                sync_name(p.sync_mode).to_string(),
                 format!("{:.3}", p.wall_secs),
                 p.ops.to_string(),
                 format!("{:.2}", p.ops_per_sec / 1e6),
@@ -175,7 +197,7 @@ pub fn render(pts: &[PerfPoint]) -> String {
         .collect();
     render_table(
         &format!("Host performance — js{NODES}(sun), fixed seeds"),
-        &["app", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw", "spdup", "windows", "batched", "top stall"],
+        &["app", "sync", "wall_s", "ops", "Mops/s", "virtual_s", "msgs", "slab_hw", "spdup", "windows", "batched", "top stall"],
         &rows,
     )
 }
@@ -226,11 +248,13 @@ pub fn to_json(
             _ => String::new(),
         };
         s.push_str(&format!(
-            "    {{\"app\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+            "    {{\"app\": \"{}\", \"sync\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
              \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}{}, \
              \"windows\": {}, \"barrier_waits\": {}, \"frames_sent\": {}, \"msgs_framed\": {}, \
-             \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}{}}}{}\n",
+             \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}, \"horizon_advances\": {}, \
+             \"nulls_sent\": {}, \"nulls_piggybacked\": {}{}}}{}\n",
             p.app,
+            sync_name(p.sync_mode),
             p.wall_secs,
             p.ops,
             p.ops_per_sec,
@@ -244,6 +268,9 @@ pub fn to_json(
             p.sync.msgs_framed,
             p.sync.msgs_batched(),
             p.sync.bytes_per_frame_avg(),
+            p.sync.horizon_advances,
+            p.sync.nulls_sent,
+            p.sync.nulls_piggybacked,
             wall_profile_json(p.wall.as_ref()),
             if i + 1 < pts.len() { "," } else { "" },
         ));
@@ -317,19 +344,54 @@ mod tests {
 
     #[test]
     fn json_schema_shape() {
-        let pts = vec![PerfPoint {
-            app: "tsp",
-            wall_secs: 1.5,
-            ops: 1000,
-            ops_per_sec: 666.7,
-            virtual_secs: 0.4,
-            msgs_sent: 12,
-            event_slab_high_water: 9,
-            wall_1node_secs: Some(6.0),
-            sync: SyncStats { windows: 10, barrier_waits: 80, frames_sent: 4, frame_bytes: 400, msgs_framed: 14 },
-            wall: None,
-        }];
+        let pts = vec![
+            PerfPoint {
+                app: "tsp",
+                sync_mode: SyncMode::Epoch,
+                wall_secs: 1.5,
+                ops: 1000,
+                ops_per_sec: 666.7,
+                virtual_secs: 0.4,
+                msgs_sent: 12,
+                event_slab_high_water: 9,
+                wall_1node_secs: Some(6.0),
+                sync: SyncStats {
+                    windows: 10,
+                    barrier_waits: 80,
+                    frames_sent: 4,
+                    frame_bytes: 400,
+                    msgs_framed: 14,
+                    ..SyncStats::default()
+                },
+                wall: None,
+            },
+            PerfPoint {
+                app: "tsp",
+                sync_mode: SyncMode::Async,
+                wall_secs: 1.2,
+                ops: 1000,
+                ops_per_sec: 833.3,
+                virtual_secs: 0.4,
+                msgs_sent: 12,
+                event_slab_high_water: 9,
+                wall_1node_secs: Some(6.0),
+                sync: SyncStats {
+                    windows: 25,
+                    barrier_waits: 0,
+                    frames_sent: 9,
+                    frame_bytes: 900,
+                    msgs_framed: 14,
+                    nulls_sent: 7,
+                    nulls_piggybacked: 2,
+                    horizon_advances: 31,
+                },
+                wall: None,
+            },
+        ];
+        // The headline speedup must come from the epoch row, not the
+        // (faster here) async row.
         let sp = live_speedup(&pts).expect("tsp point carries 1-node wall");
+        assert_eq!(sp.wall_8node_secs, 1.5);
         let j = to_json(&pts, true, Backend::Threads, Lookahead::PerPair, true, Some(&sp));
         assert!(j.contains("\"smoke\": true"));
         assert!(j.contains("\"backend\": \"threads\""));
@@ -337,6 +399,8 @@ mod tests {
         assert!(j.contains("\"wire_batch\": true"));
         assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"app\": \"tsp\""));
+        assert!(j.contains("\"sync\": \"epoch\""));
+        assert!(j.contains("\"sync\": \"async\""));
         assert!(j.contains("\"event_slab_high_water\": 9"));
         assert!(j.contains("\"wall_1node_secs\": 6.000000"));
         assert!(j.contains("\"windows\": 10"));
@@ -345,6 +409,9 @@ mod tests {
         assert!(j.contains("\"msgs_framed\": 14"));
         assert!(j.contains("\"msgs_batched\": 10"));
         assert!(j.contains("\"bytes_per_frame_avg\": 100.0"));
+        assert!(j.contains("\"horizon_advances\": 31"));
+        assert!(j.contains("\"nulls_sent\": 7"));
+        assert!(j.contains("\"nulls_piggybacked\": 2"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON dependency.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
@@ -355,6 +422,7 @@ mod tests {
     fn sim_points_omit_live_fields() {
         let pts = vec![PerfPoint {
             app: "series",
+            sync_mode: SyncMode::Epoch,
             wall_secs: 1.0,
             ops: 10,
             ops_per_sec: 10.0,
@@ -389,6 +457,7 @@ mod tests {
         let wall = WallProfile { nodes: vec![prof] };
         let pts = vec![PerfPoint {
             app: "tsp",
+            sync_mode: SyncMode::Epoch,
             wall_secs: 1.0,
             ops: 100,
             ops_per_sec: 100.0,
@@ -396,7 +465,14 @@ mod tests {
             msgs_sent: 5,
             event_slab_high_water: 2,
             wall_1node_secs: Some(2.0),
-            sync: SyncStats { windows: 1, barrier_waits: 8, frames_sent: 1, frame_bytes: 96, msgs_framed: 1 },
+            sync: SyncStats {
+                windows: 1,
+                barrier_waits: 8,
+                frames_sent: 1,
+                frame_bytes: 96,
+                msgs_framed: 1,
+                ..SyncStats::default()
+            },
             wall: Some(wall),
         }];
         assert_eq!(pts[0].dominant_stall_cell().split(' ').next(), Some("barrier_wait"));

@@ -3,8 +3,8 @@
 //! ```text
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
-//!        [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]
-//!        [--trace out.json] [--stats] [--wall-profile]
+//!        [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]
+//!        [--no-batch] [--trace out.json] [--stats] [--wall-profile]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -17,14 +17,14 @@ use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::classfile_io;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, Balancer, ClusterConfig, Lookahead};
+use jsplit_runtime::{Backend, Balancer, ClusterConfig, Lookahead, SyncMode};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
-         \x20          [--backend sim|threads] [--lookahead global|per_pair] [--no-batch]\n\
-         \x20          [--trace out.json] [--stats] [--wall-profile]\n\
+         \x20          [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]\n\
+         \x20          [--no-batch] [--trace out.json] [--stats] [--wall-profile]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -68,6 +68,7 @@ fn cmd_run(rest: &[String]) {
     let mut wall_profile = false;
     let mut backend = Backend::Sim;
     let mut lookahead = Lookahead::default();
+    let mut sync = SyncMode::default();
     let mut wire_batch = true;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
@@ -103,6 +104,13 @@ fn cmd_run(rest: &[String]) {
                     _ => usage(),
                 }
             }
+            "--sync" => {
+                sync = match it.next().map(String::as_str) {
+                    Some("epoch") => SyncMode::Epoch,
+                    Some("async") => SyncMode::Async,
+                    _ => usage(),
+                }
+            }
             "--no-batch" => wire_batch = false,
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
@@ -130,6 +138,7 @@ fn cmd_run(rest: &[String]) {
     cfg.balancer = balancer;
     cfg.backend = backend;
     cfg.lookahead = lookahead;
+    cfg.sync = sync;
     cfg.wire_batch = wire_batch;
     if trace_path.is_some() || stats {
         cfg.trace = Some(jsplit_trace::TraceMode::Full);
@@ -164,13 +173,20 @@ fn cmd_run(rest: &[String]) {
     if backend == Backend::Threads {
         let s = &report.sync;
         eprintln!(
-            "[jsplit] sync windows={} barrier_waits={} frames={} msgs_batched={} bytes/frame={:.1}",
+            "[jsplit] sync mode={} windows={} barrier_waits={} frames={} msgs_batched={} bytes/frame={:.1}",
+            if sync == SyncMode::Async { "async" } else { "epoch" },
             s.windows,
             s.barrier_waits,
             s.frames_sent,
             s.msgs_batched(),
             s.bytes_per_frame_avg(),
         );
+        if sync == SyncMode::Async {
+            eprintln!(
+                "[jsplit] async horizon_advances={} nulls_sent={} nulls_piggybacked={}",
+                s.horizon_advances, s.nulls_sent, s.nulls_piggybacked,
+            );
+        }
     }
     if stats {
         eprint!("{}", report.summary());

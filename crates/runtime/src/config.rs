@@ -41,6 +41,22 @@ pub enum Lookahead {
     PerPair,
 }
 
+/// How the threads backend's nodes agree on safe horizons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Windowed rounds: flush → single `Barrier::wait` → publish node
+    /// slots → identical local decision (DESIGN.md §12). Every node pays
+    /// for the slowest node every round.
+    #[default]
+    Epoch,
+    /// Fully asynchronous conservative sync (DESIGN.md §14): per-peer
+    /// channel clocks advanced by data deliveries and Chandy–Misra–Bryant
+    /// null-message promises; each node executes up to its own input
+    /// horizon with no barrier and no global round structure. Virtual-time
+    /// results are identical to `Epoch` and to the sim.
+    Async,
+}
+
 /// One worker node (heterogeneous clusters mix profiles, paper §6).
 #[derive(Debug, Clone, Copy)]
 pub struct NodeSpec {
@@ -95,6 +111,9 @@ pub struct ClusterConfig {
     pub backend: Backend,
     /// Window-bound strategy for the threads backend.
     pub lookahead: Lookahead,
+    /// Synchronization protocol for the threads backend (epoch barrier
+    /// rounds vs asynchronous per-pair horizons; results are identical).
+    pub sync: SyncMode,
     /// Coalesce per-peer wire messages into frames (threads backend). Off
     /// ships every message as its own frame; statistics and results are
     /// identical either way.
@@ -119,6 +138,7 @@ impl ClusterConfig {
             profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
+            sync: SyncMode::default(),
             wire_batch: true,
         }
     }
@@ -140,6 +160,7 @@ impl ClusterConfig {
             profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
+            sync: SyncMode::default(),
             wire_batch: true,
         }
     }
@@ -161,6 +182,7 @@ impl ClusterConfig {
             profile: false,
             backend: Backend::default(),
             lookahead: Lookahead::default(),
+            sync: SyncMode::default(),
             wire_batch: true,
         }
     }
@@ -220,6 +242,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Select the threads backend's synchronization protocol.
+    pub fn with_sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
     /// Toggle wire batching on the threads backend.
     pub fn with_wire_batch(mut self, on: bool) -> Self {
         self.wire_batch = on;
@@ -252,7 +280,10 @@ mod tests {
         assert!(!th.profile);
         assert!(ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_profile(true).profile);
         assert_eq!(th.lookahead, Lookahead::PerPair);
+        assert_eq!(th.sync, SyncMode::Epoch);
         assert!(th.wire_batch);
+        let asy = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_sync(SyncMode::Async);
+        assert_eq!(asy.sync, SyncMode::Async);
         let tuned = ClusterConfig::javasplit(JvmProfile::SunSim, 2)
             .with_lookahead(Lookahead::Global)
             .with_wire_batch(false);

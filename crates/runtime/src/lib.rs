@@ -46,7 +46,7 @@ pub mod report;
 pub mod threads;
 
 pub use balance::{Balancer, LoadBalancer};
-pub use config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec};
+pub use config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec, SyncMode};
 pub use driver::{ClusterError, Driver};
 pub use exec::Cluster;
 pub use node::NodeRuntime;

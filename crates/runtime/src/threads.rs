@@ -61,6 +61,41 @@
 //! tie-ordering of *distinct nodes'* events at exactly equal virtual
 //! times, which the deterministic key resolves run-to-run reproducibly.
 //!
+//! ## Asynchronous sync (`--sync async`)
+//!
+//! [`SyncMode::Async`] removes the barrier entirely (DESIGN.md §14):
+//! Chandy–Misra–Bryant null messages riding the same lookahead bounds.
+//! Each node free-runs a drain → horizon → execute → publish loop with no
+//! global rendezvous; a node with no work below its horizon parks on its
+//! inbound channel (1 ms timeout as the liveness backstop).
+//!
+//! The horizon comes from two sources, maxed together: per-peer *channel
+//! clocks* (the latest promise or delivery time received from each peer)
+//! and the *snapshot horizon* — the §12.2 rule evaluated over the
+//! published per-node slots. What makes the snapshot valid at every
+//! instant, records in flight or not, is the **send-coverage invariant**
+//! (§14.4): a node's published `next` is the minimum of its queue head
+//! and the send time of its oldest un-drained outbound record
+//! ([`NodeLoop::async_next`]), receivers republish their own `next`
+//! *before* crediting the per-pair ack cells, and senders prune their
+//! coverage floor only against those cells — so every in-flight record is
+//! covered by a published slot at all times and no global quiescence
+//! check is needed.
+//!
+//! Because every peer can evaluate the snapshot itself, null frames carry
+//! no information an awake node needs: they are doorbells. A standalone
+//! null ships only to a peer parked on a runnable event, and only at the
+//! *crossing* — the first promise that lifts the sender's delivery bound
+//! past that peer's published queue head ([`NodeLoop::refresh_promises`]).
+//! A straggler climbing through its own self-echo windows re-derives its
+//! horizon from the slots before parking (the self-serve climb) instead
+//! of waiting for a null round-trip. Termination is detected from the
+//! published counters ([`AsyncShared::finished`] / `deadlocked`), decided
+//! by a CAS race, and followed by a two-phase flush rendezvous so receive
+//! accounting matches the sim. Output and protocol counters stay
+//! counter-identical to the sim and to epoch sync; only null/frame counts
+//! are wall-timing-dependent.
+//!
 //! ## Tracing and profiling
 //!
 //! Virtual-time tracing works here too: each node records its own events
@@ -79,7 +114,7 @@
 //! abort guard is enforced at window granularity rather than per event.
 
 use crate::balance::{BalancerState, LoadBalancer};
-use crate::config::{ClusterConfig, Lookahead, Mode};
+use crate::config::{ClusterConfig, Lookahead, Mode, SyncMode};
 use crate::driver::{self, ClusterError, Driver, Prepared};
 use crate::env::CONSOLE_NODE;
 use crate::node::{Effect, LocalEv, NodeRuntime};
@@ -95,8 +130,8 @@ use jsplit_trace::{
     VecRecorder, WallProfile,
 };
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 
@@ -156,6 +191,206 @@ struct Shared {
     epoch_cv: Condvar,
 }
 
+impl Shared {
+    /// Publish node `me`'s epoch counter for `round` and wake parked
+    /// waiters. The lock round-trip *between* the store and the notify is
+    /// what closes the lost-wakeup window: a waiter that missed the store
+    /// in its spin holds the lock from its re-check until it parks, so this
+    /// publisher either sees the re-check succeed (waiter never parks) or
+    /// blocks here until the waiter is parked and notifiable.
+    fn publish_epoch(&self, me: usize, round: u64) {
+        self.slots[me].epoch.store(round, Ordering::Release);
+        drop(self.epoch_lock.lock().unwrap());
+        self.epoch_cv.notify_all();
+    }
+
+    fn epochs_published(&self, round: u64) -> bool {
+        self.slots.iter().all(|s| s.epoch.load(Ordering::Acquire) >= round)
+    }
+
+    /// Wait until every node has published `round`: a short spin, then a
+    /// parked (untimed) condvar wait. Returns whether the wait parked.
+    /// `before_park` runs once, after the spin budget is exhausted and
+    /// before the parking path's locked re-check — the epoch loop hangs
+    /// its profiling mark there, and the lost-wakeup regression test
+    /// injects a publisher to force the publish-between-spin-and-park
+    /// interleaving. The wait is untimed on purpose: the publish protocol
+    /// above makes a missed wakeup impossible, and the 200µs timeout the
+    /// pre-async driver carried as a crutch cost a spurious-wakeup storm
+    /// per round on oversubscribed hosts.
+    fn wait_epochs(&self, round: u64, before_park: &mut dyn FnMut()) -> bool {
+        let mut spins = 0u32;
+        let mut parked = false;
+        while !self.epochs_published(round) {
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                if !parked {
+                    parked = true;
+                    before_park();
+                }
+                let guard = self.epoch_lock.lock().unwrap();
+                if self.epochs_published(round) {
+                    break;
+                }
+                drop(self.epoch_cv.wait(guard).unwrap());
+            }
+        }
+        parked
+    }
+}
+
+/// Cross-node state for the asynchronous sync mode (DESIGN.md §14): no
+/// barrier, no rounds — progress rides per-channel promises, and the only
+/// shared state is what termination detection needs.
+///
+/// Counter discipline (all `SeqCst`; the proofs in §14.3 lean on the
+/// single total order):
+/// * `spawns_sent` / `msgs_sent` are incremented *before* the record can
+///   enter a channel ([`NodeLoop::transmit`]);
+/// * a node's `live` delta is added *before* its `spawns_recv` delta at
+///   burst end, and both only after the installs they describe;
+/// * `msgs_recv` is incremented while the draining node's slot version is
+///   odd, before it republishes `next`.
+struct AsyncShared {
+    /// Per-node `(version, next)`: `version` odd while the node is inside
+    /// a drain→process→publish burst, even while it is idle between
+    /// bursts; `next` is its earliest pending event (`u64::MAX` if none),
+    /// valid whenever `version` is even.
+    slots: Vec<AsyncSlot>,
+    /// Live guest threads cluster-wide (sum of published per-node deltas;
+    /// deltas wrap mod 2⁶⁴, the sum is exact). Initialized to 1: the main
+    /// thread is prepaid so no checker can observe an all-zero world
+    /// before node 0 bootstraps.
+    live: AtomicU64,
+    spawns_sent: AtomicU64,
+    spawns_recv: AtomicU64,
+    /// Remote data records sent / drained (loopbacks never enter a
+    /// channel and are excluded; null records are not data).
+    msgs_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    /// Per-pair drain acknowledgements: `acked[src·n + dst]` counts the
+    /// data records from `src` that `dst` has drained into its queue. A
+    /// receiver credits its cell *after* republishing its own `next`
+    /// (which then covers the drained events); the sender prunes its
+    /// `unacked` send-time floor against the cell. Channels are FIFO per
+    /// pair, so a bare count identifies exactly which sends are ack'd.
+    acked: Vec<AtomicU64>,
+    ops: AtomicU64,
+    /// Run outcome, decided exactly once ([`AsyncDone`] values).
+    done: AtomicU64,
+    /// Shutdown rendezvous: nodes increment after their final flush; the
+    /// final leftover drain waits for all `n`, so every sent record is
+    /// receive-accounted before endpoints are torn down.
+    flushed: AtomicU64,
+}
+
+#[derive(Default)]
+struct AsyncSlot {
+    version: AtomicU64,
+    /// Pending-aware `next` ([`NodeLoop::async_next`]): earliest queued
+    /// event, clamped to the node's in-flight send floor. Horizon input.
+    next: AtomicU64,
+    /// Bare queue head, published alongside `next`: the *executable*
+    /// demand signal. A node parked at `qnext` can only be unblocked by a
+    /// peer whose delivery bound crosses it — the gate standalone nulls
+    /// ride on. (`next` would over-trigger: an in-flight-send floor pins
+    /// it below anything the node could actually run.)
+    qnext: AtomicU64,
+    /// True while the node is parked on its inbound channel
+    /// ([`NodeLoop::run_async`]'s horizon wait) — the other half of the
+    /// demand signal: an awake peer recomputes its horizon from the
+    /// published snapshot by itself and needs no frame.
+    parked: AtomicBool,
+}
+
+/// `AsyncShared::done` values.
+mod async_done {
+    pub const RUNNING: u64 = 0;
+    pub const FINISH: u64 = 1;
+    pub const DEADLOCK: u64 = 2;
+    pub const ABORT: u64 = 3;
+}
+
+impl AsyncShared {
+    fn new(n: usize) -> AsyncShared {
+        AsyncShared {
+            slots: (0..n)
+                .map(|_| AsyncSlot {
+                    version: AtomicU64::new(0),
+                    next: AtomicU64::new(0),
+                    qnext: AtomicU64::new(0),
+                    parked: AtomicBool::new(false),
+                })
+                .collect(),
+            live: AtomicU64::new(1),
+            spawns_sent: AtomicU64::new(0),
+            spawns_recv: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            msgs_recv: AtomicU64::new(0),
+            acked: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            ops: AtomicU64::new(0),
+            done: AtomicU64::new(async_done::RUNNING),
+            flushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Race to set the terminal outcome; `true` for the winning node,
+    /// which owes its peers a wakeup (they may be parked on the inbound
+    /// channel and would otherwise only notice at the next timeout).
+    fn decide(&self, outcome: u64) -> bool {
+        self.done.compare_exchange(async_done::RUNNING, outcome, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+    }
+
+    /// Finish detection without a rendezvous (§14.3): `live == 0` with
+    /// spawn counters settled. The read order `sent, recv, live, sent` is
+    /// load-bearing: any spawn not yet fully published leaves either a
+    /// counter mismatch or a visible live thread at one of these reads.
+    fn finished(&self) -> bool {
+        let s1 = self.spawns_sent.load(Ordering::SeqCst);
+        let r1 = self.spawns_recv.load(Ordering::SeqCst);
+        let l = self.live.load(Ordering::SeqCst);
+        let s2 = self.spawns_sent.load(Ordering::SeqCst);
+        l == 0 && s1 == r1 && s1 == s2
+    }
+
+    /// Deadlock detection (§14.3): live threads, every published `next`
+    /// at infinity, nothing in flight — double-scanned with slot versions
+    /// even and stable so the snapshot is a consistent quiescent state.
+    /// Cold path: only runs on an idle node between parks. `vbuf` is the
+    /// caller's reusable version-snapshot buffer.
+    fn deadlocked(&self, vbuf: &mut Vec<u64>) -> bool {
+        vbuf.clear();
+        for s in &self.slots {
+            let v = s.version.load(Ordering::SeqCst);
+            if v % 2 == 1 || s.next.load(Ordering::SeqCst) != u64::MAX {
+                return false;
+            }
+            vbuf.push(v);
+        }
+        let ms1 = self.msgs_sent.load(Ordering::SeqCst);
+        let mr1 = self.msgs_recv.load(Ordering::SeqCst);
+        let s1 = self.spawns_sent.load(Ordering::SeqCst);
+        let r1 = self.spawns_recv.load(Ordering::SeqCst);
+        let l = self.live.load(Ordering::SeqCst);
+        if l == 0 || ms1 != mr1 || s1 != r1 {
+            return false;
+        }
+        // Stability re-scan: versions unchanged means no node drained or
+        // processed anything between the two scans, so the `next` values
+        // and counters describe one global instant.
+        for (s, &v) in self.slots.iter().zip(vbuf.iter()) {
+            if s.version.load(Ordering::SeqCst) != v {
+                return false;
+            }
+        }
+        self.msgs_sent.load(Ordering::SeqCst) == ms1
+            && self.msgs_recv.load(Ordering::SeqCst) == mr1
+            && self.spawns_sent.load(Ordering::SeqCst) == s1
+    }
+}
+
 /// What one node thread hands back when the run is over.
 struct NodeOutcome {
     node: NodeRuntime,
@@ -165,10 +400,13 @@ struct NodeOutcome {
     aborted: bool,
     /// Final length of the local event-payload slab (live-event bound).
     slab_high_water: u64,
-    /// Windows this node processed (identical on every node).
+    /// Windows this node processed (identical on every node under epoch
+    /// sync; per-node bursts-with-work under async).
     windows: u64,
-    /// `Barrier::wait` calls this node made.
+    /// `Barrier::wait` calls this node made (zero under async sync).
     barrier_waits: u64,
+    /// Times this node's safe horizon strictly advanced (async sync).
+    horizon_advances: u64,
     /// The node's private trace sink, still open: the driver appends the
     /// leftover DSM/endpoint buffers (stamped at the *global* finish time,
     /// which no single node knows) before draining it.
@@ -192,6 +430,9 @@ struct NodeLoop {
     node: NodeRuntime,
     endpoint: ChannelEndpoint,
     shared: Arc<Shared>,
+    /// Async-mode shared state (`None` under epoch sync). Its presence also
+    /// arms the eager global counter increments in [`NodeLoop::transmit`].
+    asy: Option<Arc<AsyncShared>>,
     mode: Mode,
     thread_main: MethodId,
     n_nodes: usize,
@@ -220,8 +461,22 @@ struct NodeLoop {
     /// Reused drain staging buffer (sorted per round, never reallocated in
     /// the steady state).
     drain_scratch: Vec<(u64, u64, NodeId, u64, Msg)>,
+    /// Cumulative data records shipped per destination (async sync);
+    /// pairs with [`AsyncShared::acked`] to prune `unacked`.
+    sent_to: Vec<u64>,
+    /// Send times of records shipped but not yet drained by their
+    /// receiver, per destination, in channel (FIFO) order:
+    /// `(cumulative send index, virtual send time)`. The oldest front
+    /// across all queues is the send-coverage floor every published
+    /// `next` is clamped to — the invariant that keeps the async horizon
+    /// snapshot valid with records in flight (§14.4).
+    unacked: Vec<VecDeque<(u64, u64)>>,
+    /// Reused per-drain record counts per source (ack credits).
+    ack_scratch: Vec<u64>,
     windows: u64,
     barrier_waits: u64,
+    /// Times the safe horizon strictly advanced (async sync only).
+    horizon_advances: u64,
     /// This node's private trace sink (`None` = tracing off). Never shared:
     /// recording is a plain method call on thread-local state.
     recorder: Option<Box<dyn TraceSink + Send>>,
@@ -305,8 +560,26 @@ impl NodeLoop {
     /// remote messages into the destination's pending frame, self-sends
     /// straight back into the local queue.
     fn transmit(&mut self, at: u64, step: u64, dst: NodeId, msg: Msg) {
+        // Async termination counters go up *before* the record can enter a
+        // channel (`endpoint.transmit` may auto-flush a full frame): a
+        // checker that has not seen the increment cannot have seen the
+        // message either — the send-before-flight rule §14.3 leans on.
         if matches!(msg, Msg::SpawnThread { .. }) {
             self.spawns_sent += 1;
+            if let Some(a) = &self.asy {
+                a.spawns_sent.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        if dst != self.endpoint.id {
+            if let Some(a) = &self.asy {
+                a.msgs_sent.fetch_add(1, Ordering::SeqCst);
+                // Send-coverage bookkeeping (§14.4): until the receiver
+                // acks the drain, every published `next` of ours is clamped
+                // to this record's send time, so the horizon snapshot keeps
+                // covering it while it is in flight.
+                self.sent_to[dst as usize] += 1;
+                self.unacked[dst as usize].push_back((self.sent_to[dst as usize], at));
+            }
         }
         let kind = msg.kind();
         let (deliver, local) = self.endpoint.transmit(at, step, dst, kind, &mut |w| msg.encode_into(w));
@@ -417,6 +690,31 @@ impl NodeLoop {
         self.drain_scratch = batch;
     }
 
+    /// Pop-side of the event loop: execute one scheduled event at `time`
+    /// whose payload sits at slab `idx` (shared by both sync modes).
+    fn process_one(&mut self, time: u64, idx: usize) {
+        let ev = self.payloads[idx].take().expect("event payload");
+        self.free_events.push(idx);
+        match ev {
+            NodeEv::Local(LocalEv::Slice { cpu, thread }) => {
+                let mut fx = std::mem::take(&mut self.fx);
+                let r = self.node.run_slice(time, cpu, thread, &mut fx);
+                self.fx = fx;
+                if let Some(e) = r.error {
+                    self.errors.push((thread, e));
+                }
+                self.apply_effects(time);
+            }
+            NodeEv::Local(LocalEv::Wake { thread }) => {
+                let mut fx = std::mem::take(&mut self.fx);
+                self.node.make_ready(thread, time, &mut fx);
+                self.fx = fx;
+                self.apply_effects(time);
+            }
+            NodeEv::Deliver { src, msg } => self.deliver(time, src, msg),
+        }
+    }
+
     /// The thread body: epochs of flush → barrier → drain → publish →
     /// spin → decide → process-window, until the cluster-wide decision
     /// says stop.
@@ -466,12 +764,9 @@ impl NodeLoop {
             slot.spawns_sent.store(self.spawns_sent, Ordering::Relaxed);
             slot.spawns_recv.store(self.spawns_recv, Ordering::Relaxed);
             slot.ops.store(self.node.ops, Ordering::Relaxed);
-            slot.epoch.store(round, Ordering::Release);
-            // Wake anyone parked on the epoch: the lock round-trip after
-            // the store is what makes a missed wakeup impossible (a waiter
-            // holds it between its failed re-check and parking).
-            drop(shared.epoch_lock.lock().unwrap());
-            shared.epoch_cv.notify_all();
+            // Wake anyone parked on the epoch ([`Shared::publish_epoch`]'s
+            // lock round-trip is what makes a missed wakeup impossible).
+            shared.publish_epoch(me, round);
             if let Some(p) = &mut self.profiler {
                 p.mark(SpanKind::Decide);
             }
@@ -479,32 +774,13 @@ impl NodeLoop {
             // then derives the same global decision from the same values.
             // Attribution splits at the first park: time up to it is
             // SlotSpin, the remainder CondvarWait.
-            let published = |shared: &Shared| shared.slots.iter().all(|s| s.epoch.load(Ordering::Acquire) >= round);
-            let mut spins = 0u32;
-            let mut parked = false;
-            while !published(&shared) {
-                if spins < 64 {
-                    spins += 1;
-                    std::hint::spin_loop();
-                } else {
-                    if !parked {
-                        parked = true;
-                        if let Some(p) = &mut self.profiler {
-                            p.mark(SpanKind::SlotSpin);
-                        }
-                    }
-                    let guard = shared.epoch_lock.lock().unwrap();
-                    if published(&shared) {
-                        break;
-                    }
-                    // The timeout is belt-and-braces only; the publish
-                    // protocol above cannot miss a wakeup.
-                    let _ = shared
-                        .epoch_cv
-                        .wait_timeout(guard, std::time::Duration::from_micros(200))
-                        .unwrap();
+            let mut profiler = self.profiler.take();
+            let parked = shared.wait_epochs(round, &mut || {
+                if let Some(p) = &mut profiler {
+                    p.mark(SpanKind::SlotSpin);
                 }
-            }
+            });
+            self.profiler = profiler;
             if let Some(p) = &mut self.profiler {
                 p.mark(if parked { SpanKind::CondvarWait } else { SpanKind::SlotSpin });
             }
@@ -572,31 +848,16 @@ impl NodeLoop {
                     break;
                 }
                 self.events.pop();
-                let ev = self.payloads[idx].take().expect("event payload");
-                self.free_events.push(idx);
-                match ev {
-                    NodeEv::Local(LocalEv::Slice { cpu, thread }) => {
-                        let mut fx = std::mem::take(&mut self.fx);
-                        let r = self.node.run_slice(time, cpu, thread, &mut fx);
-                        self.fx = fx;
-                        if let Some(e) = r.error {
-                            self.errors.push((thread, e));
-                        }
-                        self.apply_effects(time);
-                    }
-                    NodeEv::Local(LocalEv::Wake { thread }) => {
-                        let mut fx = std::mem::take(&mut self.fx);
-                        self.node.make_ready(thread, time, &mut fx);
-                        self.fx = fx;
-                        self.apply_effects(time);
-                    }
-                    NodeEv::Deliver { src, msg } => self.deliver(time, src, msg),
-                }
+                self.process_one(time, idx);
             }
         }
-        // Close the final segment (the aggregation/decision that broke the
-        // loop) and reconcile against the independently measured thread
-        // wall time.
+        self.finish_outcome(deadlocked, aborted)
+    }
+
+    /// Close the final profiling segment (the decision that broke the
+    /// loop), reconcile against the independently measured thread wall
+    /// time, and package the outcome (shared by both sync modes).
+    fn finish_outcome(mut self, deadlocked: bool, aborted: bool) -> NodeOutcome {
         let profile = self.profiler.take().map(|mut rec| {
             rec.mark(SpanKind::Decide);
             let wall_ns = u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -615,9 +876,419 @@ impl NodeLoop {
             aborted,
             windows: self.windows,
             barrier_waits: self.barrier_waits,
+            horizon_advances: self.horizon_advances,
             recorder: self.recorder,
             profile,
         }
+    }
+
+    /// This node's pending-aware `next` (async sync): the earliest local
+    /// event, clamped to the send time of the oldest record we shipped
+    /// whose receiver has not drained it yet. Publishing this — never the
+    /// bare queue head — is the send-coverage invariant (§14.4): a record
+    /// in flight is always covered by its *sender's* published `next`,
+    /// which is what keeps the snapshot horizon valid with traffic in
+    /// flight, without any global quiescence check.
+    fn async_next(&self) -> u64 {
+        let floor = self.unacked.iter().filter_map(|u| u.front().map(|&(_, t)| t)).min().unwrap_or(u64::MAX);
+        self.queue_head().min(floor)
+    }
+
+    /// Bare earliest queued event — the node's *executable* demand, as
+    /// opposed to the coverage-clamped [`Self::async_next`]. Published as
+    /// `qnext` so peers can tell "parked on a runnable event" from
+    /// "floor merely pinned by an un-drained send".
+    fn queue_head(&self) -> u64 {
+        self.events.peek().map_or(u64::MAX, |Reverse((t, ..))| *t)
+    }
+
+    /// Drop receiver-acknowledged records from the send-coverage floor.
+    /// Channels are FIFO per pair, so the receiver's drain count
+    /// identifies exactly the prefix of `unacked` whose coverage has
+    /// passed to the receiver's published `next`.
+    fn prune_acked(&mut self, asy: &AsyncShared) {
+        let me = self.endpoint.id as usize;
+        let n = self.n_nodes;
+        for dst in 0..n {
+            if self.unacked[dst].is_empty() {
+                continue;
+            }
+            let a = asy.acked[me * n + dst].load(Ordering::SeqCst);
+            while self.unacked[dst].front().is_some_and(|&(c, _)| c <= a) {
+                self.unacked[dst].pop_front();
+            }
+        }
+    }
+
+    /// Drain inbound frames under async sync: data records merge into the
+    /// event queue exactly as [`NodeLoop::drain_inbox`], and additionally
+    /// advance the per-peer channel clocks — a data record's delivery time
+    /// is itself a promise (per-link deliveries are strictly increasing),
+    /// a null record carries one explicitly.
+    /// Returns the number of data records drained (null promises are not
+    /// counted — a drain that only moved promises leaves no observable
+    /// trace in the termination-detection state).
+    fn drain_inbox_async(&mut self, chan: &mut [u64]) -> u64 {
+        let mut batch = std::mem::take(&mut self.drain_scratch);
+        let mut records = 0u64;
+        self.endpoint.drain_frames_with_nulls(
+            &mut |src, _kind, deliver_ps, step_ps, seq, payload| {
+                let msg = Msg::decode_from(&mut Reader::new(payload)).expect("wire codec round-trip");
+                batch.push((deliver_ps, step_ps, src, seq, msg));
+                records += 1;
+            },
+            &mut |src, promise| {
+                let c = &mut chan[src as usize];
+                *c = (*c).max(promise);
+            },
+        );
+        if !batch.is_empty() {
+            for &(deliver, _, src, _, _) in batch.iter() {
+                let c = &mut chan[src as usize];
+                *c = (*c).max(deliver);
+                self.ack_scratch[src as usize] += 1;
+            }
+            batch.sort_unstable_by_key(|&(deliver, step, src, seq, _)| (deliver, step, src, seq));
+            for (deliver, step, src, _, msg) in batch.drain(..) {
+                self.push(deliver, step, src, NodeEv::Deliver { src, msg });
+            }
+        }
+        self.drain_scratch = batch;
+        if records > 0 {
+            // Accounting order is load-bearing for §14.4: republish our
+            // `next` (now covering the drained events) *before* crediting
+            // the per-pair ack cells — a sender that prunes its coverage
+            // floor must already see the handoff in our published slot.
+            let me = self.endpoint.id as usize;
+            let n = self.n_nodes;
+            let next = self.async_next();
+            let qhead = self.queue_head();
+            let asy = self.asy.clone().expect("async drain outside async mode");
+            asy.slots[me].next.store(next, Ordering::SeqCst);
+            asy.slots[me].qnext.store(qhead, Ordering::SeqCst);
+            asy.msgs_recv.fetch_add(records, Ordering::SeqCst);
+            for src in 0..n {
+                let k = std::mem::replace(&mut self.ack_scratch[src], 0);
+                if k == 0 {
+                    continue;
+                }
+                asy.acked[src * n + me].fetch_add(k, Ordering::SeqCst);
+                // Doorbell: the sender's published `next` may be pinned at
+                // these records' send times, capping every horizon in the
+                // cluster. If it is parked it cannot prune by itself —
+                // wake it (value 0 is a no-op promise, pure wakeup).
+                if asy.slots[src].parked.load(Ordering::SeqCst) {
+                    self.endpoint.push_null(src as NodeId, 0);
+                }
+            }
+        }
+        records
+    }
+
+    /// Ring peers whose horizon may hang on this node's progress (async
+    /// sync). The promise is `min(pending-aware next, input horizon) +
+    /// lookahead`: a bound on the delivery time of anything we may still
+    /// send — future sends are triggered either by a queued event
+    /// (≥ `next`), by an in-flight record of ours (≥ its send time, the
+    /// `async_next` floor), or by a future arrival (≥ the input horizon),
+    /// and cost at least the lookahead in flight.
+    ///
+    /// Since every peer can compute the full snapshot horizon itself from
+    /// the published slots ([`NodeLoop::snapshot_horizon`]), nulls carry
+    /// no information an awake peer needs — they are *doorbells*. A
+    /// standalone null therefore ships only to a peer that is parked on a
+    /// runnable event (`qnext < ∞`; an awake peer recomputes from the
+    /// slots by itself), and only at the *crossing*: the first promise
+    /// that lifts our delivery bound past the peer's executable head.
+    /// Below the head our term cannot be what unblocks it; above the head
+    /// it already is not what blocks it — either way a frame is a wasted
+    /// wakeup. The peer whose term is the last to cross is by definition
+    /// the blocker, and its crossing frame is the wakeup that matters; a
+    /// crossing that happens while the peer is awake (ring skipped) is
+    /// covered by the peer's own pre-park snapshot peek, and any residual
+    /// race by its park timeout. Only strict increases ship: a promise
+    /// never retracts, and each frame both wakes the peer and advances
+    /// its channel clock.
+    fn refresh_promises(&mut self, asy: &AsyncShared, promised: &mut [u64], horizon: u64, my_base: u64) {
+        let promise = self.async_next().min(horizon).saturating_add(my_base);
+        let me = self.endpoint.id as usize;
+        for (dst, sent) in promised.iter_mut().enumerate() {
+            if dst == me || promise <= *sent {
+                continue;
+            }
+            let slot = &asy.slots[dst];
+            let qn = slot.qnext.load(Ordering::SeqCst);
+            // Crossing rule: `*sent ≤ qn < promise`, i.e. this frame is
+            // the one that first clears the peer's head.
+            if qn == u64::MAX || *sent > qn || promise <= qn {
+                continue;
+            }
+            if !slot.parked.load(Ordering::SeqCst) {
+                continue;
+            }
+            self.endpoint.push_null(dst as NodeId, promise);
+            *sent = promise;
+        }
+    }
+
+    /// Poke every peer with a (possibly repeated) null so that anyone
+    /// parked on the inbound channel wakes immediately — owed by the node
+    /// that wins the termination race, since balanced-mode suppression
+    /// means nobody else may be about to send them anything.
+    fn wake_peers(&mut self, promised: &[u64]) {
+        let me = self.endpoint.id as usize;
+        for (dst, &sent) in promised.iter().enumerate() {
+            if dst != me {
+                self.endpoint.push_null(dst as NodeId, sent);
+            }
+        }
+    }
+
+    /// Epoch-grade horizon from the published snapshot — valid at every
+    /// instant, records in flight or not. The published `next` values are
+    /// fed to the §12.2 per-pair (or global-window) horizon rule
+    /// verbatim; our own slot contributes the live pending-aware `next`.
+    ///
+    /// Soundness rests on the send-coverage invariant (§14.4): a node's
+    /// published `next` is at all times a lower bound on (a) every event
+    /// in its queue — drains republish before acking, loopbacks land
+    /// above the section's processing point — and (b) the send time of
+    /// every record it has shipped that is still undrained (`async_next`
+    /// clamps to the `unacked` floor, and the floor only lifts after the
+    /// receiver's published `next` covers the record — the ack-after-
+    /// republish order in [`NodeLoop::drain_inbox_async`]). With every
+    /// in-flight record covered by its sender, any future send by node
+    /// `i` originates at ≥ its published `next_i`, and the §12.2
+    /// induction goes through unchanged — no quiescence, no version
+    /// stability, no counter bracketing. A straggler in a busy cluster
+    /// advances its horizon with `n` atomic loads per burst, waking
+    /// nobody.
+    fn snapshot_horizon(&self, asy: &AsyncShared, next_me: u64, next_buf: &mut Vec<u64>) -> u64 {
+        let shared = &self.shared;
+        let me = self.endpoint.id as usize;
+        next_buf.clear();
+        for (i, s) in asy.slots.iter().enumerate() {
+            if i == me {
+                next_buf.push(next_me);
+            } else {
+                next_buf.push(s.next.load(Ordering::SeqCst));
+            }
+        }
+        match shared.lookahead {
+            Lookahead::Global => {
+                let min_next = next_buf.iter().copied().min().unwrap_or(u64::MAX);
+                min_next.saturating_add(shared.window_ps)
+            }
+            Lookahead::PerPair => {
+                let mut h = next_me.saturating_add(shared.base_ps[me]).saturating_add(shared.min_peer_base[me]);
+                for (i, nx) in next_buf.iter().enumerate() {
+                    if i != me {
+                        h = h.min(nx.saturating_add(shared.base_ps[i]));
+                    }
+                }
+                h
+            }
+        }
+    }
+
+    /// The thread body under `--sync async` (DESIGN.md §14): no barrier,
+    /// no rounds. Each iteration drains whatever has arrived, advances the
+    /// safe horizon from the per-peer channel clocks, executes the burst
+    /// of events strictly below it, publishes termination-detection state,
+    /// ships pending frames plus null promises, and parks on the inbound
+    /// channel only when it has nothing left to do.
+    fn run_async(mut self) -> NodeOutcome {
+        let me = self.endpoint.id as usize;
+        let shared = self.shared.clone();
+        let asy = self.asy.clone().expect("async shared state");
+        let n = shared.base_ps.len();
+        // The lookahead this node's promises extend by: its own base link
+        // latency per-pair, the cluster-cheapest base under global mode
+        // (same conservatism as the epoch global window).
+        let my_base = match shared.lookahead {
+            Lookahead::PerPair => shared.base_ps[me],
+            Lookahead::Global => shared.window_ps,
+        };
+        // chan[p] = channel clock for peer p: no future record from p can
+        // deliver below it. Own entry pinned at ∞ so `min` skips it.
+        let mut chan = vec![0u64; n];
+        chan[me] = u64::MAX;
+        let mut promised = vec![0u64; n];
+        let mut vbuf: Vec<u64> = Vec::with_capacity(n);
+        let mut next_buf: Vec<u64> = Vec::with_capacity(n);
+        // The main thread is prepaid in `AsyncShared::live`; baseline the
+        // console node at 1 so its bootstrap burst publishes a zero delta.
+        let mut last_live: u64 = if me == CONSOLE_NODE as usize { 1 } else { 0 };
+        let mut last_spawns_recv = 0u64;
+        let mut last_ops = 0u64;
+        let mut horizon = 0u64;
+        let mut version = 0u64;
+        let outcome;
+        loop {
+            // --- Odd section: drain, execute, publish. Checkers treat the
+            // whole burst as one atomic step.
+            asy.slots[me].version.store(version + 1, Ordering::SeqCst);
+            let drained = self.drain_inbox_async(&mut chan);
+            self.prune_acked(&asy);
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::InboxDrain);
+            }
+            let mut h = if n == 1 { u64::MAX } else { chan.iter().copied().min().unwrap_or(u64::MAX) };
+            if n > 1 {
+                // The snapshot horizon is valid at every instant (§14.4
+                // send coverage) — the self-serve path that lets a
+                // straggler climb through its own windows without a null
+                // round-trip or a peer wakeup. Channel clocks can still
+                // exceed it briefly (a data delivery outruns its sender's
+                // republished `next`), so take the max of both.
+                let next_me = self.async_next();
+                let h2 = self.snapshot_horizon(&asy, next_me, &mut next_buf);
+                h = h.max(h2);
+            }
+            if h > horizon {
+                self.horizon_advances += 1;
+                if let Some(p) = &mut self.profiler {
+                    if h != u64::MAX {
+                        p.window_ps.record(h - horizon);
+                    }
+                }
+                horizon = h;
+            }
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Decide);
+            }
+            let mut burst = 0u64;
+            while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
+                if time >= horizon {
+                    break;
+                }
+                self.events.pop();
+                self.process_one(time, idx);
+                burst += 1;
+                // A long burst must not starve peers whose horizon hangs
+                // on our promise (the skew scenario): refresh periodically
+                // as `next` climbs, not just at burst end.
+                if burst.is_multiple_of(256) {
+                    self.refresh_promises(&asy, &mut promised, horizon, my_base);
+                }
+            }
+            if burst > 0 {
+                self.windows += 1;
+            }
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Execute);
+            }
+            let next = self.async_next();
+            if drained == 0 && burst == 0 && asy.slots[me].next.load(Ordering::SeqCst) == next {
+                // Quiet iteration: only null promises moved, nothing the
+                // termination checkers observe changed. (A differing
+                // published `next` disqualifies: an idle node's very first
+                // iteration must promote the slot's initial 0 to ∞, or its
+                // unpublished state drags every peer's fast-path horizon
+                // down to one link latency for the whole run.) Revert the
+                // version to the previous even value instead of closing a
+                // new section — otherwise an idle cluster creeping its
+                // horizons through a null cascade would bump versions
+                // forever and
+                // starve the deadlock detector's stability re-scan.
+                asy.slots[me].version.store(version, Ordering::SeqCst);
+            } else {
+                // Publish counter deltas: live strictly before spawns_recv
+                // (§14.3 install rule); deltas wrap mod 2⁶⁴ so the global
+                // sums stay exact through decrements.
+                let live_now = self.node.live() as u64;
+                if live_now != last_live {
+                    asy.live.fetch_add(live_now.wrapping_sub(last_live), Ordering::SeqCst);
+                    last_live = live_now;
+                }
+                if self.spawns_recv != last_spawns_recv {
+                    asy.spawns_recv.fetch_add(self.spawns_recv - last_spawns_recv, Ordering::SeqCst);
+                    last_spawns_recv = self.spawns_recv;
+                }
+                if self.node.ops != last_ops {
+                    asy.ops.fetch_add(self.node.ops - last_ops, Ordering::SeqCst);
+                    last_ops = self.node.ops;
+                }
+                asy.slots[me].next.store(next, Ordering::SeqCst);
+                asy.slots[me].qnext.store(self.queue_head(), Ordering::SeqCst);
+                // --- Close the odd section; from here the published
+                // snapshot is consistent and we only move frames and
+                // promises.
+                version += 2;
+                asy.slots[me].version.store(version, Ordering::SeqCst);
+            }
+            self.refresh_promises(&asy, &mut promised, horizon, my_base);
+            self.endpoint.flush();
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::FrameFlush);
+            }
+            let done = asy.done.load(Ordering::SeqCst);
+            if done != async_done::RUNNING {
+                outcome = done;
+                break;
+            }
+            if asy.ops.load(Ordering::SeqCst) > shared.max_ops {
+                if asy.decide(async_done::ABORT) {
+                    self.wake_peers(&promised);
+                }
+                continue;
+            }
+            // Executable-work check on the bare queue head: the published
+            // `next` may sit below it (pinned by the in-flight floor), and
+            // spinning on that would busy-wait for an ack instead of
+            // parking for it.
+            if self.queue_head() < horizon {
+                // More work is already executable (the burst refreshed our
+                // own view mid-flight): loop straight around.
+                continue;
+            }
+            // Idle: we ran out of horizon. Try to detect termination, then
+            // park on the inbound channel until a peer's data or promise
+            // (or the done flag, within the timeout) moves us.
+            if asy.finished() {
+                if asy.decide(async_done::FINISH) {
+                    self.wake_peers(&promised);
+                }
+                continue;
+            }
+            if asy.deadlocked(&mut vbuf) {
+                if asy.decide(async_done::DEADLOCK) {
+                    self.wake_peers(&promised);
+                }
+                continue;
+            }
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::Decide);
+            }
+            // A burst that raised our published `next` usually raises the
+            // snapshot horizon with it (the self-echo term): peek before
+            // parking and spin straight into the next window if it moved —
+            // this is the self-serve climb that replaces a null round-trip
+            // per window with a handful of atomic loads.
+            if n > 1 && self.snapshot_horizon(&asy, self.async_next(), &mut next_buf) > horizon {
+                continue;
+            }
+            // The parked bit is the demand signal `refresh_promises` gates
+            // standalone nulls on; raise it only for the wait itself.
+            asy.slots[me].parked.store(true, Ordering::SeqCst);
+            self.endpoint.wait_inbound(std::time::Duration::from_millis(1));
+            asy.slots[me].parked.store(false, Ordering::SeqCst);
+            if let Some(p) = &mut self.profiler {
+                p.mark(SpanKind::HorizonWait);
+            }
+        }
+        // Two-phase shutdown: ship anything still pending, rendezvous on
+        // the flush counter, then drain leftovers so receive accounting
+        // matches the sim (which records both ends at send time). The
+        // drained events are dropped unprocessed — exactly the events the
+        // sim discards after its termination condition trips.
+        self.endpoint.flush();
+        asy.flushed.fetch_add(1, Ordering::SeqCst);
+        while asy.flushed.load(Ordering::SeqCst) < n as u64 {
+            std::thread::yield_now();
+        }
+        self.drain_inbox_async(&mut chan);
+        self.finish_outcome(outcome == async_done::DEADLOCK, outcome == async_done::ABORT)
     }
 }
 
@@ -708,6 +1379,10 @@ impl ThreadsDriver {
             epoch_lock: Mutex::new(()),
             epoch_cv: Condvar::new(),
         });
+        // Async sync mode swaps the epoch loop for the barrier-free burst
+        // loop; the `Shared` above still carries the lookahead tables both
+        // modes read.
+        let asy = (self.config.sync == SyncMode::Async).then(|| Arc::new(AsyncShared::new(n)));
         let mode = self.config.mode;
         let thread_main = self.prepared.thread_main;
         let main_method = self.prepared.image.main_method;
@@ -727,6 +1402,7 @@ impl ThreadsDriver {
                 node,
                 endpoint,
                 shared,
+                asy: asy.clone(),
                 mode,
                 thread_main,
                 n_nodes: n,
@@ -742,8 +1418,12 @@ impl ThreadsDriver {
                 errors: Vec::new(),
                 fx: Vec::new(),
                 drain_scratch: Vec::new(),
+                sent_to: vec![0; n],
+                unacked: (0..n).map(|_| VecDeque::new()).collect(),
+                ack_scratch: vec![0; n],
                 windows: 0,
                 barrier_waits: 0,
+                horizon_advances: 0,
                 recorder: trace_mode.map(make_node_sink),
                 profiler: None,
                 t0: started,
@@ -769,7 +1449,11 @@ impl ThreadsDriver {
                 // Setup-phase activity (statics bootstrap, class shipping)
                 // is part of the trace; stamp it at t = 0 like the sim.
                 lp.drain_trace(0);
-                lp.run()
+                if lp.asy.is_some() {
+                    lp.run_async()
+                } else {
+                    lp.run()
+                }
             }));
         }
         let mut outcomes: Vec<NodeOutcome> = handles
@@ -790,11 +1474,19 @@ impl ThreadsDriver {
             }
         }
         let sync = SyncStats {
-            windows: outcomes[0].windows,
+            // Epoch rounds are cluster-global (identical on every node);
+            // async bursts are per-node, so the cluster figure is the sum.
+            windows: match self.config.sync {
+                SyncMode::Epoch => outcomes[0].windows,
+                SyncMode::Async => outcomes.iter().map(|o| o.windows).sum(),
+            },
             barrier_waits: outcomes.iter().map(|o| o.barrier_waits).sum(),
             frames_sent: outcomes.iter().map(|o| o.endpoint.frame_stats.frames_sent).sum(),
             frame_bytes: outcomes.iter().map(|o| o.endpoint.frame_stats.frame_bytes).sum(),
             msgs_framed: outcomes.iter().map(|o| o.endpoint.frame_stats.msgs_framed).sum(),
+            nulls_sent: outcomes.iter().map(|o| o.endpoint.frame_stats.nulls_sent).sum(),
+            nulls_piggybacked: outcomes.iter().map(|o| o.endpoint.frame_stats.nulls_piggybacked).sum(),
+            horizon_advances: outcomes.iter().map(|o| o.horizon_advances).sum(),
         };
         let finish = outcomes.iter().map(|o| o.node.finish_time).max().unwrap_or(0);
         // Merge the per-node streams into the sim's canonical normal form:
@@ -865,5 +1557,67 @@ impl ThreadsDriver {
 impl Driver for ThreadsDriver {
     fn run(self) -> RunReport {
         ThreadsDriver::run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn shared_pair() -> Arc<Shared> {
+        Arc::new(Shared {
+            slots: (0..2).map(|_| NodeSlot::default()).collect(),
+            barrier: Barrier::new(1),
+            window_ps: 0,
+            base_ps: vec![0; 2],
+            min_peer_base: vec![0; 2],
+            lookahead: Lookahead::PerPair,
+            max_ops: u64::MAX,
+            epoch_lock: Mutex::new(()),
+            epoch_cv: Condvar::new(),
+        })
+    }
+
+    /// Regression for the epoch-wait lost wakeup: a peer that publishes
+    /// its epoch *between* a waiter's exhausted spin and its condvar park
+    /// must still be observed. [`Shared::wait_epochs`] is untimed, so
+    /// before the locked re-check + publish-side lock round-trip existed
+    /// this interleaving parked forever (with the old 200µs-timeout wait
+    /// it "only" cost a silent timeout per occurrence). The `before_park`
+    /// hook pins the publish to exactly that window on even iterations;
+    /// odd iterations race a late publisher against the park itself to
+    /// cover the notify path too.
+    #[test]
+    fn epoch_wait_survives_publish_between_spin_and_park() {
+        for i in 0..200u32 {
+            let shared = shared_pair();
+            shared.publish_epoch(0, 1);
+            let (tx, rx) = mpsc::channel();
+            let s = shared.clone();
+            let waiter = std::thread::spawn(move || {
+                let s2 = s.clone();
+                let mut publisher = None;
+                s.wait_epochs(1, &mut || {
+                    if i % 2 == 0 {
+                        s2.publish_epoch(1, 1);
+                    } else {
+                        let s3 = s2.clone();
+                        publisher = Some(std::thread::spawn(move || {
+                            std::thread::sleep(Duration::from_micros(50));
+                            s3.publish_epoch(1, 1);
+                        }));
+                    }
+                });
+                if let Some(p) = publisher {
+                    p.join().unwrap();
+                }
+                tx.send(()).unwrap();
+            });
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("waiter hung: epoch publish lost between spin and park");
+            waiter.join().unwrap();
+        }
     }
 }
