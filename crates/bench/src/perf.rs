@@ -27,8 +27,9 @@ use std::time::Instant;
 use crate::measure::{render_table, run_clean};
 use jsplit_mjvm::class::Program;
 use jsplit_mjvm::cost::JvmProfile;
-use jsplit_runtime::{Backend, ClusterConfig, Lookahead, SyncMode, SyncStats};
-use jsplit_trace::{LogHist, SpanKind, WallProfile, ALL_SPAN_KINDS};
+use jsplit_runtime::telemetry::lag_percentiles;
+use jsplit_runtime::{Backend, ClusterConfig, Lookahead, MetricsConfig, SyncMode, SyncStats};
+use jsplit_trace::{LogHist, SpanKind, TelemetrySummary, WallProfile, ALL_SPAN_KINDS};
 
 /// One measured workload.
 pub struct PerfPoint {
@@ -56,6 +57,9 @@ pub struct PerfPoint {
     pub sync: SyncStats,
     /// Wall-clock span profile of the measured run (threads backend only).
     pub wall: Option<WallProfile>,
+    /// Live-telemetry summary of the measured run (threads backend only):
+    /// peak/mean rates and horizon-lag percentiles.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl PerfPoint {
@@ -108,12 +112,17 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
     let mut out = Vec::new();
     for &sync_mode in syncs {
         for (app, p) in workloads(smoke) {
-            let cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
+            let mut cfg = ClusterConfig::javasplit(JvmProfile::SunSim, NODES)
                 .with_backend(backend)
                 .with_lookahead(lookahead)
                 .with_sync(sync_mode)
                 .with_wire_batch(wire_batch)
                 .with_profile(backend == Backend::Threads);
+            if backend == Backend::Threads {
+                // Sample the registry but write no JSONL: the summary
+                // (peak/mean rates, lag percentiles) lands in the LIVE rows.
+                cfg = cfg.with_metrics(MetricsConfig::default());
+            }
             let t0 = Instant::now();
             let mut r = run_clean(cfg, &p);
             let wall = t0.elapsed().as_secs_f64();
@@ -139,6 +148,7 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
                 wall_1node_secs,
                 sync: r.sync,
                 wall: r.wall.take(),
+                telemetry: r.telemetry.take(),
             });
         }
     }
@@ -235,7 +245,7 @@ pub fn to_json(
     ));
     if let Some(sp) = speedup {
         s.push_str(&format!(
-            "  \"tsp_speedup\": {{\"wall_1node_secs\": {:.6}, \"wall_8node_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            "  \"tsp_speedup\": {{\"wall_1node_secs\": {:.3}, \"wall_8node_secs\": {:.3}, \"speedup\": {:.2}}},\n",
             sp.wall_1node_secs,
             sp.wall_8node_secs,
             sp.speedup(),
@@ -244,15 +254,15 @@ pub fn to_json(
     s.push_str("  \"results\": [\n");
     for (i, p) in pts.iter().enumerate() {
         let live = match (p.wall_1node_secs, p.speedup()) {
-            (Some(w1), Some(sp)) => format!(", \"wall_1node_secs\": {w1:.6}, \"speedup\": {sp:.3}"),
+            (Some(w1), Some(sp)) => format!(", \"wall_1node_secs\": {w1:.3}, \"speedup\": {sp:.2}"),
             _ => String::new(),
         };
         s.push_str(&format!(
-            "    {{\"app\": \"{}\", \"sync\": \"{}\", \"wall_secs\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+            "    {{\"app\": \"{}\", \"sync\": \"{}\", \"wall_secs\": {:.3}, \"ops\": {}, \"ops_per_sec\": {:.0}, \
              \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}{}, \
              \"windows\": {}, \"barrier_waits\": {}, \"frames_sent\": {}, \"msgs_framed\": {}, \
              \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}, \"horizon_advances\": {}, \
-             \"nulls_sent\": {}, \"nulls_piggybacked\": {}{}}}{}\n",
+             \"nulls_sent\": {}, \"nulls_piggybacked\": {}{}{}}}{}\n",
             p.app,
             sync_name(p.sync_mode),
             p.wall_secs,
@@ -272,6 +282,7 @@ pub fn to_json(
             p.sync.nulls_sent,
             p.sync.nulls_piggybacked,
             wall_profile_json(p.wall.as_ref()),
+            telemetry_json(p.telemetry.as_ref()),
             if i + 1 < pts.len() { "," } else { "" },
         ));
     }
@@ -286,6 +297,25 @@ fn hist_json(h: &LogHist) -> String {
         h.percentile(0.50),
         h.percentile(0.90),
         h.percentile(0.99)
+    )
+}
+
+/// The live-telemetry block: sample count, peak/mean cluster rates, and
+/// horizon-lag percentiles (empty string when the point carries no
+/// telemetry, i.e. sim runs).
+fn telemetry_json(t: Option<&TelemetrySummary>) -> String {
+    let Some(t) = t else { return String::new() };
+    let (p50, p90, p99) = lag_percentiles(t);
+    format!(
+        ", \"telemetry\": {{\"samples\": {}, \"peak_ops_per_sec\": {:.0}, \"mean_ops_per_sec\": {:.0}, \
+         \"peak_bytes_per_sec\": {:.0}, \"mean_bytes_per_sec\": {:.0}, \
+         \"horizon_lag_ps\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}}, \"stalls\": {}}}",
+        t.samples,
+        t.peak_ops_per_sec,
+        t.mean_ops_per_sec,
+        t.peak_bytes_per_sec,
+        t.mean_bytes_per_sec,
+        t.stalls.len(),
     )
 }
 
@@ -364,6 +394,7 @@ mod tests {
                     ..SyncStats::default()
                 },
                 wall: None,
+                telemetry: None,
             },
             PerfPoint {
                 app: "tsp",
@@ -386,6 +417,11 @@ mod tests {
                     horizon_advances: 31,
                 },
                 wall: None,
+                telemetry: Some({
+                    let mut t = TelemetrySummary { samples: 12, peak_ops_per_sec: 2000.4, ..TelemetrySummary::default() };
+                    t.horizon_lag_ps.record(4096);
+                    t
+                }),
             },
         ];
         // The headline speedup must come from the epoch row, not the
@@ -397,12 +433,20 @@ mod tests {
         assert!(j.contains("\"backend\": \"threads\""));
         assert!(j.contains("\"lookahead\": \"per_pair\""));
         assert!(j.contains("\"wire_batch\": true"));
-        assert!(j.contains("\"speedup\": 4.000"));
+        assert!(j.contains("\"speedup\": 4.00"));
         assert!(j.contains("\"app\": \"tsp\""));
         assert!(j.contains("\"sync\": \"epoch\""));
         assert!(j.contains("\"sync\": \"async\""));
         assert!(j.contains("\"event_slab_high_water\": 9"));
-        assert!(j.contains("\"wall_1node_secs\": 6.000000"));
+        assert!(j.contains("\"wall_1node_secs\": 6.000"));
+        // Floats land at fixed precision (satellite: stable diffs against
+        // baselines; no 6-decimal wall-clock noise).
+        assert!(j.contains("\"wall_secs\": 1.500"));
+        assert!(j.contains("\"ops_per_sec\": 667,"));
+        // The telemetry block rides only on rows that carry a summary.
+        assert!(j.contains("\"telemetry\": {\"samples\": 12, \"peak_ops_per_sec\": 2000,"));
+        assert!(j.contains("\"horizon_lag_ps\": {\"p50\": "));
+        assert!(j.contains("\"stalls\": 0"));
         assert!(j.contains("\"windows\": 10"));
         assert!(j.contains("\"barrier_waits\": 80"));
         assert!(j.contains("\"frames_sent\": 4"));
@@ -432,6 +476,7 @@ mod tests {
             wall_1node_secs: None,
             sync: SyncStats::default(),
             wall: None,
+            telemetry: None,
         }];
         assert!(pts[0].speedup().is_none());
         assert!(live_speedup(&pts).is_none());
@@ -439,6 +484,7 @@ mod tests {
         assert!(!j.contains("tsp_speedup"));
         assert!(!j.contains("wall_1node_secs"));
         assert!(!j.contains("wall_profile"));
+        assert!(!j.contains("\"telemetry\""));
         assert!(j.contains("\"windows\": 0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
@@ -474,6 +520,7 @@ mod tests {
                 ..SyncStats::default()
             },
             wall: Some(wall),
+            telemetry: None,
         }];
         assert_eq!(pts[0].dominant_stall_cell().split(' ').next(), Some("barrier_wait"));
         let j = to_json(&pts, true, Backend::Threads, Lookahead::PerPair, true, None);

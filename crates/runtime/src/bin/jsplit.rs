@@ -5,6 +5,7 @@
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
 //!        [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]
 //!        [--no-batch] [--trace out.json] [--stats] [--wall-profile]
+//!        [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
@@ -17,7 +18,27 @@ use jsplit_dsm::ProtocolMode;
 use jsplit_mjvm::classfile_io;
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
-use jsplit_runtime::{Backend, Balancer, ClusterConfig, Lookahead, SyncMode};
+use jsplit_runtime::{Backend, Balancer, ClusterConfig, Lookahead, MetricsConfig, SyncMode};
+use std::time::Duration;
+
+/// Parse a human duration: a bare number is milliseconds; `us`, `ms` and
+/// `s` suffixes are accepted (`50ms`, `250us`, `2s`).
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, scale_us) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000)
+    } else {
+        (s, 1_000)
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    Some(Duration::from_micros((v * scale_us as f64).round() as u64))
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -25,6 +46,7 @@ fn usage() -> ! {
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
          \x20          [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]\n\
          \x20          [--no-batch] [--trace out.json] [--stats] [--wall-profile]\n\
+         \x20          [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -70,6 +92,9 @@ fn cmd_run(rest: &[String]) {
     let mut lookahead = Lookahead::default();
     let mut sync = SyncMode::default();
     let mut wire_batch = true;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_interval: Option<Duration> = None;
+    let mut watchdog: Option<Duration> = None;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,6 +137,14 @@ fn cmd_run(rest: &[String]) {
                 }
             }
             "--no-batch" => wire_batch = false,
+            "--metrics" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics-interval" => {
+                metrics_interval =
+                    Some(it.next().and_then(|s| parse_duration(s)).unwrap_or_else(|| usage()))
+            }
+            "--watchdog" => {
+                watchdog = Some(it.next().and_then(|s| parse_duration(s)).unwrap_or_else(|| usage()))
+            }
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
             "--wall-profile" => wall_profile = true,
@@ -142,6 +175,19 @@ fn cmd_run(rest: &[String]) {
     cfg.wire_batch = wire_batch;
     if trace_path.is_some() || stats {
         cfg.trace = Some(jsplit_trace::TraceMode::Full);
+    }
+    // Any telemetry flag arms the registry + sampler; the watchdog rides on
+    // the same sampler thread (threads backend, async sync).
+    if metrics_out.is_some() || metrics_interval.is_some() || watchdog.is_some() {
+        let mut m = MetricsConfig {
+            out: metrics_out.as_ref().map(std::path::PathBuf::from),
+            watchdog_budget: watchdog,
+            ..MetricsConfig::default()
+        };
+        if let Some(iv) = metrics_interval {
+            m.interval = iv;
+        }
+        cfg.metrics = Some(m);
     }
     // Wall-clock span profiling is a threads-backend feature; `--stats`
     // there includes the stall table too (cheap: aggregates only).
@@ -187,6 +233,21 @@ fn cmd_run(rest: &[String]) {
                 s.horizon_advances, s.nulls_sent, s.nulls_piggybacked,
             );
         }
+    }
+    if let Some(t) = &report.telemetry {
+        let (p50, p90, p99) = jsplit_runtime::telemetry::lag_percentiles(t);
+        eprintln!(
+            "[jsplit] telemetry samples={} ops/s peak={:.0} mean={:.0} bytes/s peak={:.0} lag_p50/p90/p99={}/{}/{} ps stalls={}{}",
+            t.samples,
+            t.peak_ops_per_sec,
+            t.mean_ops_per_sec,
+            t.peak_bytes_per_sec,
+            p50,
+            p90,
+            p99,
+            t.stalls.len(),
+            metrics_out.as_deref().map(|p| format!(" -> {p}")).unwrap_or_default(),
+        );
     }
     if stats {
         eprint!("{}", report.summary());

@@ -57,6 +57,40 @@ pub enum SyncMode {
     Async,
 }
 
+/// Live telemetry configuration (`None` on [`ClusterConfig::metrics`] =
+/// disabled, the zero-cost default). All of it is side-band: a run with
+/// metrics on is bit-identical to one with them off.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Stream newline-delimited JSON samples here (`None` = sample for the
+    /// end-of-run summary only).
+    pub out: Option<std::path::PathBuf>,
+    /// Wall-clock sampling interval (clamped to ≥ 1 ms).
+    pub interval: std::time::Duration,
+    /// Arm the horizon-stall watchdog with this budget (threads backend; a
+    /// node whose horizon stays frozen past it gets a blame diagnosis).
+    pub watchdog_budget: Option<std::time::Duration>,
+    /// Keep a per-node flight recorder and dump it on panic or stall.
+    pub flight: bool,
+    /// Fault injection for watchdog tests: the named node sleeps this many
+    /// wall-clock ms before entering its async loop, pinning every peer's
+    /// horizon on its unpublished promise. Virtual-time results are
+    /// unaffected (the sleep is wall-clock only).
+    pub stall_inject: Option<(u16, u64)>,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> MetricsConfig {
+        MetricsConfig {
+            out: None,
+            interval: std::time::Duration::from_millis(50),
+            watchdog_budget: None,
+            flight: true,
+            stall_inject: None,
+        }
+    }
+}
+
 /// One worker node (heterogeneous clusters mix profiles, paper §6).
 #[derive(Debug, Clone, Copy)]
 pub struct NodeSpec {
@@ -118,6 +152,10 @@ pub struct ClusterConfig {
     /// ships every message as its own frame; statistics and results are
     /// identical either way.
     pub wire_batch: bool,
+    /// Live telemetry: lock-free registry + wall-clock sampler (+ watchdog
+    /// and flight recorder on the threads backend). `None` = off, the
+    /// zero-cost default; on or off, runs are bit-identical.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl ClusterConfig {
@@ -140,6 +178,7 @@ impl ClusterConfig {
             lookahead: Lookahead::default(),
             sync: SyncMode::default(),
             wire_batch: true,
+            metrics: None,
         }
     }
 
@@ -162,6 +201,7 @@ impl ClusterConfig {
             lookahead: Lookahead::default(),
             sync: SyncMode::default(),
             wire_batch: true,
+            metrics: None,
         }
     }
 
@@ -184,6 +224,7 @@ impl ClusterConfig {
             lookahead: Lookahead::default(),
             sync: SyncMode::default(),
             wire_batch: true,
+            metrics: None,
         }
     }
 
@@ -253,6 +294,13 @@ impl ClusterConfig {
         self.wire_batch = on;
         self
     }
+
+    /// Enable live telemetry (registry + sampler; watchdog and flight
+    /// recorder per the [`MetricsConfig`]).
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -289,5 +337,15 @@ mod tests {
             .with_wire_batch(false);
         assert_eq!(tuned.lookahead, Lookahead::Global);
         assert!(!tuned.wire_batch);
+        assert!(tuned.metrics.is_none());
+        let m = ClusterConfig::javasplit(JvmProfile::SunSim, 2).with_metrics(MetricsConfig {
+            watchdog_budget: Some(std::time::Duration::from_millis(200)),
+            ..MetricsConfig::default()
+        });
+        let mc = m.metrics.expect("metrics set");
+        assert_eq!(mc.interval, std::time::Duration::from_millis(50));
+        assert!(mc.flight);
+        assert_eq!(mc.watchdog_budget, Some(std::time::Duration::from_millis(200)));
+        assert!(mc.stall_inject.is_none());
     }
 }

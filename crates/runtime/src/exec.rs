@@ -24,7 +24,8 @@ use jsplit_mjvm::loader::{ClassId, Image, MethodId};
 use jsplit_mjvm::Value;
 use jsplit_net::{Network, NodeId};
 use jsplit_rewriter::RewriteStats;
-use jsplit_trace::{make_sink, TraceEvent, TraceSink};
+use crate::telemetry::Telemetry;
+use jsplit_trace::{make_sink, Metric, MetricsRegistry, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -78,6 +79,9 @@ pub struct Cluster {
     recorder: Option<Box<dyn TraceSink>>,
     /// Scratch buffer for node effect drains, reused across events.
     fx: Vec<Effect>,
+    /// Live-metrics registry (`None` = metrics off, the default; the
+    /// publish path is one untaken branch per event batch).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Cluster {
@@ -101,6 +105,7 @@ impl Cluster {
         // never lazily in the dispatch path.
         let in_flight = vec![0; nodes.len()];
         let recorder = config.trace.map(make_sink);
+        let metrics = config.metrics.as_ref().map(|_| MetricsRegistry::new(nodes.len()));
         let mut cluster = Cluster {
             lb: BalancerState::new(config.balancer),
             config,
@@ -125,6 +130,7 @@ impl Cluster {
             setup_ps: 0,
             recorder,
             fx: Vec::new(),
+            metrics,
         };
 
         // Ship the rewritten class files to every worker during *setup*.
@@ -332,6 +338,35 @@ impl Cluster {
         self.apply_effects(node);
     }
 
+    /// Publish every node's counters into the live-metrics registry. The
+    /// sim driver is single-threaded, so the per-node horizon gauges of the
+    /// threads backend all collapse to the one global virtual clock here
+    /// (lag is identically zero, as it should be for a sequential
+    /// scheduler). Mid-run joiners beyond the registry's initial size are
+    /// not sampled — the registry is fixed at creation.
+    fn publish_metrics(&self, now: u64) {
+        let Some(reg) = &self.metrics else { return };
+        for (i, node) in self.nodes.iter().enumerate().take(reg.n_nodes()) {
+            let id = i as NodeId;
+            reg.set(id, Metric::Ops, node.ops);
+            reg.set(id, Metric::LiveThreads, node.live() as u64);
+            reg.set(id, Metric::HorizonPs, now);
+            reg.set(id, Metric::NextEventPs, now);
+            reg.set(id, Metric::QueueHeadPs, now);
+            if let Some(st) = self.net.stats.get(i) {
+                reg.set(id, Metric::NetMsgsSent, st.msgs_sent);
+                reg.set(id, Metric::NetBytesSent, st.bytes_sent);
+                reg.set(id, Metric::NetMsgsRecv, st.msgs_recv);
+            }
+            if let Some(d) = node.dsm_stats_ref() {
+                reg.set(id, Metric::DsmFetches, d.fetches);
+                reg.set(id, Metric::DsmDiffs, d.diffs_sent);
+                reg.set(id, Metric::DsmInvalidations, d.invalidations);
+                reg.set(id, Metric::DsmLockGrants, d.grants_sent);
+            }
+        }
+    }
+
     fn join_worker(&mut self, time: u64, spec: NodeSpec) {
         let id = self.net.add_node(driver::link_params(spec));
         let image = self.image.clone();
@@ -355,8 +390,26 @@ impl Cluster {
     /// Run to completion and produce the report.
     pub fn run(mut self) -> RunReport {
         let started = std::time::Instant::now();
+        // Side-band sampler: reads the registry on its own thread, never
+        // touches virtual time (no watchdog or flight recorder here — the
+        // sim driver cannot stall on a peer).
+        let telemetry = match (&self.config.metrics, &self.metrics) {
+            (Some(cfg), Some(reg)) => match Telemetry::start(cfg, reg.clone(), None, None) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("jsplit: cannot open metrics output: {e}");
+                    None
+                }
+            },
+            _ => None,
+        };
         let mut aborted = false;
+        let mut processed: u64 = 0;
         while let Some(Reverse((time, _, idx))) = self.events.pop() {
+            processed += 1;
+            if self.metrics.is_some() && processed.is_multiple_of(4096) {
+                self.publish_metrics(time);
+            }
             // Spawned-but-undelivered threads count as live: a main that
             // exits immediately after `start()` must not end the run.
             let spawning: u32 = self.in_flight.iter().sum();
@@ -390,6 +443,8 @@ impl Cluster {
         for n in 0..self.nodes.len() {
             self.drain_trace_buffers(n as NodeId, finish);
         }
+        self.publish_metrics(finish);
+        let telemetry = telemetry.map(Telemetry::finish);
         let trace = self.recorder.take().map(|r| jsplit_trace::canonicalize(r.into_events()));
         let (breakdown, lock_stats) = match &trace {
             Some(evs) => {
@@ -422,6 +477,7 @@ impl Cluster {
             host_wall_secs: started.elapsed().as_secs_f64(),
             sync: crate::report::SyncStats::default(),
             wall: None,
+            telemetry,
         }
     }
 }

@@ -43,12 +43,14 @@ pub mod env;
 pub mod exec;
 pub mod node;
 pub mod report;
+pub mod telemetry;
 pub mod threads;
 
 pub use balance::{Balancer, LoadBalancer};
-pub use config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec, SyncMode};
+pub use config::{Backend, ClusterConfig, Lookahead, MetricsConfig, Mode, NodeSpec, SyncMode};
 pub use driver::{ClusterError, Driver};
 pub use exec::Cluster;
 pub use node::NodeRuntime;
 pub use report::{RunReport, SyncStats};
+pub use telemetry::{Telemetry, Watchdog, WatchdogSpec};
 pub use threads::ThreadsDriver;

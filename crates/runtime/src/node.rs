@@ -181,6 +181,16 @@ impl NodeRuntime {
         }
     }
 
+    /// Borrowed view of the DSM statistics (`None` in baseline mode) —
+    /// the metrics publish path reads a few counters per round and must
+    /// not clone the whole struct each time.
+    pub fn dsm_stats_ref(&self) -> Option<&jsplit_dsm::DsmStats> {
+        match &self.env {
+            NodeEnv::Js(e) => Some(&e.dsm.stats),
+            NodeEnv::Baseline(_) => None,
+        }
+    }
+
     /// Take the buffered (unstamped) DSM trace events, if any.
     pub fn take_dsm_trace(&mut self) -> Vec<TraceEvent> {
         match &mut self.env {

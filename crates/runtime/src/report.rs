@@ -5,7 +5,7 @@ use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::VmError;
 use jsplit_net::NetStats;
 use jsplit_rewriter::RewriteStats;
-use jsplit_trace::{Event, LockStat, NodeBreakdown, SpanKind, WallProfile};
+use jsplit_trace::{Event, LockStat, NodeBreakdown, SpanKind, TelemetrySummary, WallProfile};
 use std::fmt::Write as _;
 
 /// Synchronization-layer counters from the threads backend (all zero under
@@ -111,6 +111,12 @@ pub struct RunReport {
     /// runs or when profiling is off): per-node stall breakdown summing to
     /// each thread's wall time, plus latency/size histograms.
     pub wall: Option<WallProfile>,
+    /// Live-telemetry time series summary (`None` unless the run was
+    /// configured with [`ClusterConfig::with_metrics`]): sample count,
+    /// peak/mean cluster rates, horizon-lag percentiles, watchdog stalls.
+    ///
+    /// [`ClusterConfig::with_metrics`]: crate::config::ClusterConfig::with_metrics
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunReport {
@@ -180,6 +186,37 @@ impl RunReport {
                 dsm.map_or(0, |d| d.grants_sent),
             );
         }
+        let net = self.net_total();
+        let dsm = self.dsm_total();
+        let _ = writeln!(
+            s,
+            "{:>4} {:>14} {:>9} {:>12} {:>9} {:>12} {:>8} {:>8} {:>8}",
+            "all",
+            self.ops,
+            net.msgs_sent,
+            net.bytes_sent,
+            net.msgs_recv,
+            net.bytes_recv,
+            dsm.fetches,
+            dsm.diffs_sent,
+            dsm.grants_sent,
+        );
+        let mut cluster = format!(
+            "cluster: {:.0} ops/sec host, {} bytes on the wire",
+            self.ops as f64 / self.host_wall_secs.max(1e-9),
+            net.bytes_sent,
+        );
+        if let Some((kind, ns)) = self.wall.as_ref().and_then(|w| w.dominant_stall()) {
+            let wall_total: u64 =
+                self.wall.as_ref().map_or(0, |w| w.nodes.iter().map(|n| n.accounted_ns()).sum());
+            let _ = write!(
+                cluster,
+                ", dominant stall {} {:.1}%",
+                kind.label(),
+                100.0 * ns as f64 / wall_total.max(1) as f64
+            );
+        }
+        let _ = writeln!(s, "{cluster}");
         if !self.breakdown.is_empty() {
             let _ = writeln!(
                 s,
@@ -275,6 +312,24 @@ impl RunReport {
                     100.0 * ns as f64 / wall_total.max(1) as f64,
                     wall.nodes.first().map_or(0.0, |n| n.window_ps.percentile(0.50) as f64 / 1e6),
                 );
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            let (p50, p90, p99) = crate::telemetry::lag_percentiles(t);
+            let _ = writeln!(
+                s,
+                "telemetry: {} samples; ops/sec peak {:.0} mean {:.0}; bytes/sec peak {:.0} mean {:.0}; horizon lag p50/p90/p99 {}/{}/{} ps",
+                t.samples,
+                t.peak_ops_per_sec,
+                t.mean_ops_per_sec,
+                t.peak_bytes_per_sec,
+                t.mean_bytes_per_sec,
+                p50,
+                p90,
+                p99,
+            );
+            for stall in &t.stalls {
+                let _ = writeln!(s, "{}", crate::telemetry::render_stall(stall));
             }
         }
         if !self.lock_stats.is_empty() {

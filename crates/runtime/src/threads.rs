@@ -125,9 +125,10 @@ use jsplit_mjvm::interp::{Frame, VmError};
 use jsplit_mjvm::loader::MethodId;
 use jsplit_mjvm::Value;
 use jsplit_net::{ChannelEndpoint, MeshSetup, NodeId, Reader};
+use crate::telemetry::{Telemetry, WatchdogSpec};
 use jsplit_trace::{
-    Event, NodeWallProfile, RingRecorder, SpanKind, SpanRecorder, TraceEvent, TraceMode, TraceSink,
-    VecRecorder, WallProfile,
+    Event, FlightRecorder, FlightTag, Metric, MetricsRegistry, NodeWallProfile, RingRecorder,
+    SpanKind, SpanRecorder, TraceEvent, TraceMode, TraceSink, VecRecorder, WallProfile,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -482,6 +483,15 @@ struct NodeLoop {
     recorder: Option<Box<dyn TraceSink + Send>>,
     /// Wall-clock span profiler (`None` = profiling off: one branch/site).
     profiler: Option<SpanRecorder>,
+    /// Live-metrics registry (`None` = metrics off: one branch per publish
+    /// site). Values go out as single relaxed stores of counters this loop
+    /// already maintains — the sampler thread does all derived work.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Flight recorder for recent state transitions (`None` = off).
+    flight: Option<Arc<FlightRecorder>>,
+    /// Watchdog fault injection: sleep this many wall-clock ms before the
+    /// first async iteration, pinning peers on our unpublished promise.
+    stall_inject_ms: Option<u64>,
     /// Thread start instant, set by the node thread itself; `wall_ns` is
     /// measured from it independently of the span accounting.
     t0: Instant,
@@ -514,6 +524,46 @@ impl NodeLoop {
     fn record(&mut self, t: u64, ev: TraceEvent) {
         if let Some(r) = &mut self.recorder {
             r.record(Event { t, ev });
+        }
+    }
+
+    /// Log one flight-recorder transition (no-op when disabled).
+    #[inline]
+    fn fly(&self, tag: FlightTag, a: u64, b: u64) {
+        if let Some(f) = &self.flight {
+            f.log(self.endpoint.id, tag, a, b);
+        }
+    }
+
+    /// Publish this node's registry cells: one relaxed store per value, of
+    /// counters the loop already maintains. Called at points the hot path
+    /// visits anyway (epoch round publish, async burst publish, pre-park);
+    /// with metrics off the whole thing is one untaken branch.
+    fn publish_metrics(&self, horizon: u64, next: u64, qnext: u64) {
+        let Some(reg) = &self.metrics else {
+            return;
+        };
+        let me = self.endpoint.id;
+        reg.set(me, Metric::Ops, self.node.ops);
+        reg.set(me, Metric::LiveThreads, self.node.live() as u64);
+        reg.set(me, Metric::Windows, self.windows);
+        reg.set(me, Metric::BarrierWaits, self.barrier_waits);
+        reg.set(me, Metric::HorizonAdvances, self.horizon_advances);
+        reg.set(me, Metric::HorizonPs, horizon);
+        reg.set(me, Metric::NextEventPs, next);
+        reg.set(me, Metric::QueueHeadPs, qnext);
+        let ns = &self.endpoint.stats;
+        reg.set(me, Metric::NetMsgsSent, ns.msgs_sent);
+        reg.set(me, Metric::NetBytesSent, ns.bytes_sent);
+        reg.set(me, Metric::NetMsgsRecv, ns.msgs_recv);
+        let fs = &self.endpoint.frame_stats;
+        reg.set(me, Metric::FramesSent, fs.frames_sent);
+        reg.set(me, Metric::NullsSent, fs.nulls_sent + fs.nulls_piggybacked);
+        if let Some(d) = self.node.dsm_stats_ref() {
+            reg.set(me, Metric::DsmFetches, d.fetches);
+            reg.set(me, Metric::DsmDiffs, d.diffs_sent);
+            reg.set(me, Metric::DsmInvalidations, d.invalidations);
+            reg.set(me, Metric::DsmLockGrants, d.grants_sent);
         }
     }
 
@@ -767,6 +817,7 @@ impl NodeLoop {
             // Wake anyone parked on the epoch ([`Shared::publish_epoch`]'s
             // lock round-trip is what makes a missed wakeup impossible).
             shared.publish_epoch(me, round);
+            self.fly(FlightTag::EpochPublish, round, next);
             if let Some(p) = &mut self.profiler {
                 p.mark(SpanKind::Decide);
             }
@@ -775,12 +826,28 @@ impl NodeLoop {
             // Attribution splits at the first park: time up to it is
             // SlotSpin, the remainder CondvarWait.
             let mut profiler = self.profiler.take();
+            let metrics = self.metrics.clone();
+            let flight = self.flight.clone();
             let parked = shared.wait_epochs(round, &mut || {
                 if let Some(p) = &mut profiler {
                     p.mark(SpanKind::SlotSpin);
                 }
+                // The parked gauge + flight mark ride the same hook: it
+                // runs once, right before the locked re-check parks us.
+                if let Some(reg) = &metrics {
+                    reg.set(me as NodeId, Metric::Parked, 1);
+                }
+                if let Some(f) = &flight {
+                    f.log(me as NodeId, FlightTag::Park, round, next);
+                }
             });
             self.profiler = profiler;
+            if parked {
+                if let Some(reg) = &self.metrics {
+                    reg.set(me as NodeId, Metric::Parked, 0);
+                }
+                self.fly(FlightTag::Unpark, round, next);
+            }
             if let Some(p) = &mut self.profiler {
                 p.mark(if parked { SpanKind::CondvarWait } else { SpanKind::SlotSpin });
             }
@@ -843,6 +910,7 @@ impl NodeLoop {
                     p.window_ps.record(horizon - min_next);
                 }
             }
+            self.publish_metrics(horizon, next, next);
             while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
                 if time >= horizon {
                     break;
@@ -851,6 +919,11 @@ impl NodeLoop {
                 self.process_one(time, idx);
             }
         }
+        self.fly(FlightTag::Decide, if deadlocked { 2 } else if aborted { 3 } else { 1 }, round);
+        // Final publish so the sampler's closing sample carries end-of-run
+        // counters (the horizon gauge goes to ∞: the run is over, nothing
+        // lags anything).
+        self.publish_metrics(u64::MAX, self.queue_head(), self.queue_head());
         self.finish_outcome(deadlocked, aborted)
     }
 
@@ -1124,6 +1197,12 @@ impl NodeLoop {
         let mut horizon = 0u64;
         let mut version = 0u64;
         let outcome;
+        // Watchdog fault injection: sleep with our initial slot (next = 0)
+        // still published — every peer's horizon pins on our promise until
+        // we wake. Wall-clock only; virtual-time results are unchanged.
+        if let Some(ms) = self.stall_inject_ms.take() {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         loop {
             // --- Odd section: drain, execute, publish. Checkers treat the
             // whole burst as one atomic step.
@@ -1152,6 +1231,7 @@ impl NodeLoop {
                         p.window_ps.record(h - horizon);
                     }
                 }
+                self.fly(FlightTag::HorizonClimb, h, horizon);
                 horizon = h;
             }
             if let Some(p) = &mut self.profiler {
@@ -1209,13 +1289,16 @@ impl NodeLoop {
                     asy.ops.fetch_add(self.node.ops - last_ops, Ordering::SeqCst);
                     last_ops = self.node.ops;
                 }
+                let qhead = self.queue_head();
                 asy.slots[me].next.store(next, Ordering::SeqCst);
-                asy.slots[me].qnext.store(self.queue_head(), Ordering::SeqCst);
+                asy.slots[me].qnext.store(qhead, Ordering::SeqCst);
                 // --- Close the odd section; from here the published
                 // snapshot is consistent and we only move frames and
                 // promises.
                 version += 2;
                 asy.slots[me].version.store(version, Ordering::SeqCst);
+                self.fly(FlightTag::BurstPublish, version, next);
+                self.publish_metrics(horizon, next, qhead);
             }
             self.refresh_promises(&asy, &mut promised, horizon, my_base);
             self.endpoint.flush();
@@ -1269,10 +1352,24 @@ impl NodeLoop {
                 continue;
             }
             // The parked bit is the demand signal `refresh_promises` gates
-            // standalone nulls on; raise it only for the wait itself.
+            // standalone nulls on; raise it only for the wait itself. The
+            // registry's gauges refresh right before parking so the
+            // watchdog judges the park against current values (quiet
+            // iterations skip the burst publish but may have climbed the
+            // horizon through nulls).
+            let qhead = self.queue_head();
+            self.publish_metrics(horizon, self.async_next(), qhead);
+            if let Some(reg) = &self.metrics {
+                reg.set(me as NodeId, Metric::Parked, 1);
+            }
+            self.fly(FlightTag::Park, horizon, qhead);
             asy.slots[me].parked.store(true, Ordering::SeqCst);
             self.endpoint.wait_inbound(std::time::Duration::from_millis(1));
             asy.slots[me].parked.store(false, Ordering::SeqCst);
+            if let Some(reg) = &self.metrics {
+                reg.set(me as NodeId, Metric::Parked, 0);
+            }
+            self.fly(FlightTag::Unpark, horizon, qhead);
             if let Some(p) = &mut self.profiler {
                 p.mark(SpanKind::HorizonWait);
             }
@@ -1282,12 +1379,22 @@ impl NodeLoop {
         // matches the sim (which records both ends at send time). The
         // drained events are dropped unprocessed — exactly the events the
         // sim discards after its termination condition trips.
+        self.fly(FlightTag::Decide, outcome, 0);
         self.endpoint.flush();
         asy.flushed.fetch_add(1, Ordering::SeqCst);
         while asy.flushed.load(Ordering::SeqCst) < n as u64 {
             std::thread::yield_now();
         }
         self.drain_inbox_async(&mut chan);
+        self.fly(
+            FlightTag::FlushRendezvous,
+            self.endpoint.frame_stats.frames_sent,
+            self.endpoint.frame_stats.msgs_framed,
+        );
+        // Final publish: the sampler's closing sample sees end-of-run
+        // counters, so whole-run mean rates come out right (horizon to ∞:
+        // the run is over, nothing lags anything).
+        self.publish_metrics(u64::MAX, self.async_next(), self.queue_head());
         self.finish_outcome(outcome == async_done::DEADLOCK, outcome == async_done::ABORT)
     }
 }
@@ -1383,6 +1490,28 @@ impl ThreadsDriver {
         // loop; the `Shared` above still carries the lookahead tables both
         // modes read.
         let asy = (self.config.sync == SyncMode::Async).then(|| Arc::new(AsyncShared::new(n)));
+        // Live telemetry: registry + flight recorder shared with the node
+        // threads, sampler/watchdog on a side-band thread. All `None`
+        // without `--metrics` — the hot paths then pay one untaken branch.
+        let metrics_cfg = self.config.metrics.clone();
+        let registry = metrics_cfg.as_ref().map(|_| MetricsRegistry::new(n));
+        let flight = metrics_cfg.as_ref().filter(|c| c.flight).map(|_| FlightRecorder::new(n));
+        if let Some(f) = &flight {
+            jsplit_trace::arm_panic_dump(f);
+        }
+        let telemetry = metrics_cfg.as_ref().and_then(|cfg| {
+            let wd = cfg.watchdog_budget.map(|d| WatchdogSpec {
+                budget_ms: (d.as_millis() as u64).max(1),
+                base_ps: shared.base_ps.clone(),
+            });
+            match Telemetry::start(cfg, registry.clone().expect("registry"), flight.clone(), wd) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("metrics: cannot open {:?}: {e}; sampling disabled", cfg.out);
+                    None
+                }
+            }
+        });
         let mode = self.config.mode;
         let thread_main = self.prepared.thread_main;
         let main_method = self.prepared.image.main_method;
@@ -1426,8 +1555,16 @@ impl ThreadsDriver {
                 horizon_advances: 0,
                 recorder: trace_mode.map(make_node_sink),
                 profiler: None,
+                metrics: registry.clone(),
+                flight: flight.clone(),
+                stall_inject_ms: None,
                 t0: started,
             };
+            lp.stall_inject_ms = metrics_cfg
+                .as_ref()
+                .and_then(|c| c.stall_inject)
+                .filter(|&(node, _)| node == lp.endpoint.id)
+                .map(|(_, ms)| ms);
             handles.push(std::thread::spawn(move || {
                 // Wall time and the span origin are anchored at the node
                 // thread itself, so thread-spawn latency stays outside the
@@ -1461,6 +1598,12 @@ impl ThreadsDriver {
             .map(|h| h.join().expect("node thread panicked"))
             .collect();
         outcomes.sort_by_key(|o| o.node.id);
+        // Stop the sampler (it takes one closing sample of the final
+        // published counters) and fold the time series into the report.
+        let telemetry_summary = telemetry.map(Telemetry::finish);
+        if let Some(f) = &flight {
+            jsplit_trace::disarm_panic_dump(f);
+        }
 
         let host_wall_secs = started.elapsed().as_secs_f64();
         let deadlocked = outcomes[0].deadlocked;
@@ -1550,6 +1693,7 @@ impl ThreadsDriver {
             host_wall_secs,
             sync,
             wall,
+            telemetry: telemetry_summary,
         }
     }
 }

@@ -236,5 +236,55 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.percentile(0.5), 0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LogHist::new();
+        for v in [3u64, 900, 0, 1 << 40] {
+            a.record(v);
+        }
+        let before = (a.count(), a.sum(), a.max(), a.percentile(0.9));
+        a.merge(&LogHist::new());
+        assert_eq!((a.count(), a.sum(), a.max(), a.percentile(0.9)), before);
+        let mut e = LogHist::new();
+        e.merge(&a);
+        assert_eq!((e.count(), e.sum(), e.max(), e.percentile(0.9)), before);
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(e.bucket_count(b), a.bucket_count(b));
+        }
+    }
+
+    #[test]
+    fn cross_node_merge_matches_combined_distribution() {
+        // Cluster-wide horizon-lag percentiles are computed by merging one
+        // per-node histogram per node: the merge of n disjoint per-node
+        // histograms must be indistinguishable from one histogram fed every
+        // observation — same buckets, same percentiles at every quantile.
+        let mut combined = LogHist::new();
+        let mut merged = LogHist::new();
+        for node in 0..8u64 {
+            let mut per_node = LogHist::new();
+            // Skewed per-node distributions (node 7 lags 1000× node 0).
+            for i in 0..200u64 {
+                let v = (node * node + 1) * (i * 13 % 997);
+                per_node.record(v);
+                combined.record(v);
+            }
+            merged.merge(&per_node);
+        }
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.sum(), combined.sum());
+        assert_eq!(merged.max(), combined.max());
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(merged.bucket_count(b), combined.bucket_count(b), "bucket {b}");
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(q), combined.percentile(q), "q={q}");
+        }
     }
 }

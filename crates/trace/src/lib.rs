@@ -28,9 +28,11 @@ mod breakdown;
 mod canonical;
 mod chrome;
 mod event;
+mod flight;
 mod hist;
 mod json;
 mod locks;
+mod metrics;
 mod sink;
 mod wall;
 
@@ -38,7 +40,13 @@ pub use breakdown::{node_breakdown, NodeBreakdown};
 pub use canonical::canonicalize;
 pub use chrome::{chrome_trace, chrome_trace_unified, count_exported};
 pub use event::{BlockReason, Event, NetKind, NodeId, Ps, ThreadUid, TraceEvent, TraceMode};
+pub use flight::{
+    arm_panic_dump, disarm_panic_dump, FlightEntry, FlightRecorder, FlightTag, FLIGHT_RING,
+};
 pub use hist::{bucket_edge, bucket_of, LogHist, HIST_BUCKETS};
+pub use metrics::{
+    Metric, MetricKind, MetricsRegistry, StallReport, TelemetrySummary, ALL_METRICS, METRICS,
+};
 pub use json::validate_json;
 pub use locks::{lock_contention, LockStat};
 pub use sink::{make_sink, RingRecorder, TraceSink, VecRecorder};
