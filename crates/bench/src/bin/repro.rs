@@ -9,15 +9,16 @@
 //! Sections: `table1`, `table2`, `table3`, `table4`, `ablation`, `mixed`
 //! (the §6 heterogeneous-cluster and mid-run-join demonstrations), `all`.
 //!
-//! `repro perf [--smoke] [--backend sim|threads] [--lookahead global|per_pair]
-//! [--sync epoch|async|both] [--no-batch]` is separate from `all`: it
-//! measures *host* wall-clock and ops/sec (nondeterministic) and writes
-//! `BENCH_PERF.json` at the repo root — or, with `--backend threads`,
-//! real-parallel-execution numbers (one OS thread per node) with per-app
-//! 8-vs-1-node speedups and synchronization counters to `BENCH_LIVE.json`.
-//! Threads runs default to `--sync both`: one row set per sync protocol,
-//! so the barrier-epoch and async-promise drivers are always measured
-//! side by side.
+//! `repro perf [--smoke] [--backend sim|threads|sockets]
+//! [--lookahead global|per_pair] [--sync epoch|async|both] [--no-batch]`
+//! is separate from `all`: it measures *host* wall-clock and ops/sec
+//! (nondeterministic) and writes `BENCH_PERF.json` at the repo root — or,
+//! with `--backend threads` (one OS thread per node) or `--backend
+//! sockets` (one OS *process* per node over localhost TCP),
+//! real-parallel-execution numbers with per-app 8-vs-1-node speedups and
+//! synchronization counters to `BENCH_LIVE.json`. Live runs default to
+//! `--sync both`: one row set per sync protocol, so the barrier-epoch and
+//! async-promise drivers are always measured side by side.
 //!
 //! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
@@ -30,6 +31,18 @@ use jsplit_runtime::{Backend, ClusterConfig, Lookahead, NodeSpec, SyncMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `repro perf --backend sockets` spawns one process per node by
+    // re-executing the current binary — this one — with a `worker`
+    // subcommand, exactly like `jsplit worker`.
+    if args.first().map(String::as_str) == Some("worker") {
+        if let Err(e) = jsplit_runtime::sockets::worker_main(&args[1..]) {
+            eprintln!("repro worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let smoke = args.iter().any(|a| a == "--smoke");
     let section = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
@@ -43,8 +56,9 @@ fn main() {
             Some(i) => match args.get(i + 1).map(String::as_str) {
                 Some("sim") => Backend::Sim,
                 Some("threads") => Backend::Threads,
+                Some("sockets") => Backend::Sockets,
                 other => {
-                    eprintln!("repro perf: unknown --backend {other:?} (want sim|threads)");
+                    eprintln!("repro perf: unknown --backend {other:?} (want sim|threads|sockets)");
                     std::process::exit(2);
                 }
             },
@@ -67,7 +81,7 @@ fn main() {
         let syncs: Vec<SyncMode> = match args.iter().position(|a| a == "--sync") {
             None => match backend {
                 Backend::Sim => vec![SyncMode::Epoch],
-                Backend::Threads => vec![SyncMode::Epoch, SyncMode::Async],
+                Backend::Threads | Backend::Sockets => vec![SyncMode::Epoch, SyncMode::Async],
             },
             Some(i) => match args.get(i + 1).map(String::as_str) {
                 Some("epoch") => vec![SyncMode::Epoch],

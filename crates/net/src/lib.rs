@@ -14,9 +14,13 @@
 pub mod codec;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use codec::{Reader, Writer};
 pub use sim::{LinkParams, Network, NodeId, LOOPBACK_PS};
 pub use stats::{MsgKind, NetStats};
-pub use transport::{ChannelEndpoint, Frame, FrameStats, MeshSetup, Transport, WireMsg, FRAME_CHUNK};
+pub use transport::{
+    ChannelEndpoint, Frame, FrameLink, FrameStats, MeshSetup, SoloSetup, Transport, WireMsg,
+    FRAME_CHUNK,
+};

@@ -50,6 +50,26 @@ const REC_HDR: usize = 8 + 8 + 8 + 1 + 4;
 /// from zero).
 pub const NULL_WIRE_ID: u8 = 0xFF;
 
+/// Count the non-null records inside one encoded frame without decoding
+/// payloads. The sockets coordinator uses this to keep an authoritative
+/// per-destination delivery count for its termination decision: a worker is
+/// quiescent only once it has drained exactly as many records as the
+/// coordinator relayed toward it, so in-flight frames can never be mistaken
+/// for global quiescence.
+pub fn frame_data_records(buf: &[u8]) -> u64 {
+    let mut n = 0u64;
+    let mut at = 0usize;
+    while at + REC_HDR <= buf.len() {
+        let kind = buf[at + 24];
+        let len = u32::from_le_bytes(buf[at + 25..at + 29].try_into().unwrap()) as usize;
+        if kind != NULL_WIRE_ID {
+            n += 1;
+        }
+        at += REC_HDR + len;
+    }
+    n
+}
+
 /// What a driver needs from a message fabric: given a send of `bytes` wire
 /// bytes at virtual `now_ps`, account it on both ends and return the
 /// virtual delivery time (respecting the per-link FIFO rule).
@@ -96,6 +116,39 @@ pub struct Frame {
     pub buf: Vec<u8>,
 }
 
+/// Where finished frames go and where drained buffers return: the one seam
+/// between an endpoint and the fabric that carries its frames. The in-process
+/// mesh ([`ChannelFanout`]) ships over `mpsc` channels and recycles buffers
+/// to their senders' pools; the TCP fabric writes length-prefixed envelopes
+/// to a socket and recycles into a local pool. Everything above this trait —
+/// framing, statistics, FIFO delivery planning, null records — is identical
+/// across backends.
+pub trait FrameLink: Send {
+    /// Deliver a finished frame to `dst`'s inbound path.
+    fn ship(&mut self, dst: NodeId, frame: Frame);
+    /// Return a drained frame buffer to whoever allocated it.
+    fn recycle(&mut self, src: NodeId, buf: Vec<u8>);
+}
+
+/// The in-process mesh fabric: one `mpsc` sender per peer for frames, one
+/// per peer for buffer recycling (`None` at this node's own slot).
+pub struct ChannelFanout {
+    peers: Vec<Option<Sender<Frame>>>,
+    recycle_peers: Vec<Option<Sender<Vec<u8>>>>,
+}
+
+impl FrameLink for ChannelFanout {
+    fn ship(&mut self, dst: NodeId, frame: Frame) {
+        // A peer only disconnects at teardown, when the run's outcome is
+        // already decided.
+        let _ = self.peers[dst as usize].as_ref().expect("no channel to self").send(frame);
+    }
+
+    fn recycle(&mut self, src: NodeId, buf: Vec<u8>) {
+        let _ = self.recycle_peers[src as usize].as_ref().expect("frame from self").send(buf);
+    }
+}
+
 /// Per-record callback for [`ChannelEndpoint::drain_frames`]:
 /// `(src, kind, deliver_ps, step_ps, seq, payload)`. The payload slice
 /// borrows from the frame buffer being drained.
@@ -104,7 +157,7 @@ pub type RecordSink<'a> = dyn FnMut(NodeId, MsgKind, u64, u64, u64, &[u8]) + 'a;
 /// Frame-level counters (message-level accounting lives in [`NetStats`],
 /// which framing must not perturb — cross-backend identity is asserted on
 /// it).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FrameStats {
     /// Frames shipped to peers.
     pub frames_sent: u64,
@@ -131,10 +184,9 @@ pub struct FrameStats {
 pub struct ChannelEndpoint {
     pub id: NodeId,
     link: LinkParams,
-    peers: Vec<Option<Sender<Frame>>>,
+    /// The fabric carrying finished frames (channel mesh or TCP).
+    wire: Box<dyn FrameLink>,
     rx: Receiver<Frame>,
-    /// Return path for decoded frame buffers, indexed by original sender.
-    recycle_peers: Vec<Option<Sender<Vec<u8>>>>,
     recycle_rx: Receiver<Vec<u8>>,
     /// Per-destination frame under construction (batch mode).
     pending: Vec<Vec<u8>>,
@@ -179,25 +231,53 @@ impl ChannelEndpoint {
             .into_iter()
             .zip(rec_receivers)
             .enumerate()
-            .map(|(i, (rx, recycle_rx))| ChannelEndpoint {
-                id: i as NodeId,
-                link: links[i],
-                peers: (0..n).map(|j| if j == i { None } else { Some(senders[j].clone()) }).collect(),
-                rx,
-                recycle_peers: (0..n).map(|j| if j == i { None } else { Some(rec_senders[j].clone()) }).collect(),
-                recycle_rx,
-                pending: vec![Vec::new(); n],
-                stash: Vec::new(),
-                pool: Vec::new(),
-                batch,
-                last_delivery: vec![0; n],
-                stats: NetStats::default(),
-                frame_stats: FrameStats::default(),
-                trace: None,
-                frame_hist: None,
-                seq: 0,
+            .map(|(i, (rx, recycle_rx))| {
+                let fanout = ChannelFanout {
+                    peers: (0..n).map(|j| if j == i { None } else { Some(senders[j].clone()) }).collect(),
+                    recycle_peers: (0..n)
+                        .map(|j| if j == i { None } else { Some(rec_senders[j].clone()) })
+                        .collect(),
+                };
+                ChannelEndpoint::single(i as NodeId, n, links[i], Box::new(fanout), rx, recycle_rx, batch)
             })
             .collect()
+    }
+
+    /// Build one endpoint over an arbitrary fabric — the sockets worker's
+    /// constructor, where the rest of the mesh lives in other processes.
+    /// `rx` receives inbound frames (fed by the fabric's reader) and
+    /// `recycle_rx` returns reusable buffers.
+    pub fn single(
+        id: NodeId,
+        n: usize,
+        link: LinkParams,
+        wire: Box<dyn FrameLink>,
+        rx: Receiver<Frame>,
+        recycle_rx: Receiver<Vec<u8>>,
+        batch: bool,
+    ) -> ChannelEndpoint {
+        ChannelEndpoint {
+            id,
+            link,
+            wire,
+            rx,
+            recycle_rx,
+            pending: vec![Vec::new(); n],
+            stash: Vec::new(),
+            pool: Vec::new(),
+            batch,
+            last_delivery: vec![0; n],
+            stats: NetStats::default(),
+            frame_stats: FrameStats::default(),
+            trace: None,
+            frame_hist: None,
+            seq: 0,
+        }
+    }
+
+    /// Cluster size this endpoint was built for.
+    pub fn nodes(&self) -> usize {
+        self.pending.len()
     }
 
     /// This node's link parameters (lookahead bound source).
@@ -309,12 +389,7 @@ impl ChannelEndpoint {
         if let Some(h) = &mut self.frame_hist {
             h.record(buf.len() as u64);
         }
-        // A peer only disconnects at teardown, when the run's outcome is
-        // already decided.
-        let _ = self.peers[dst as usize]
-            .as_ref()
-            .expect("no channel to self")
-            .send(Frame { src: self.id, buf });
+        self.wire.ship(dst, Frame { src: self.id, buf });
     }
 
     /// Ship every pending frame. The driver calls this before each
@@ -399,10 +474,7 @@ impl ChannelEndpoint {
                 sink(frame.src, kind, deliver_ps, step_ps, seq, payload);
             }
             // Hand the buffer back to whoever allocated it.
-            let _ = self.recycle_peers[frame.src as usize]
-                .as_ref()
-                .expect("frame from self")
-                .send(frame.buf);
+            self.wire.recycle(frame.src, frame.buf);
         }
     }
 
@@ -440,6 +512,34 @@ impl Transport for MeshSetup<'_> {
 
     fn nodes(&self) -> usize {
         self.0.len()
+    }
+}
+
+/// [`Transport`] over a single endpoint whose peers live in other
+/// processes: bootstrap traffic is *replayed* identically on every worker —
+/// the sender plans the send (mutating its FIFO state exactly like
+/// [`MeshSetup`] would), a receiver records only its own receive. The
+/// returned delivery time is meaningful on the sending node only.
+pub struct SoloSetup<'a>(pub &'a mut ChannelEndpoint);
+
+impl Transport for SoloSetup<'_> {
+    fn send(&mut self, now_ps: u64, src: NodeId, dst: NodeId, bytes: usize, kind: MsgKind) -> u64 {
+        if src == self.0.id {
+            let at = self.0.plan_send(now_ps, dst, bytes, kind);
+            if dst == src {
+                self.0.record_recv(bytes, kind);
+            }
+            at
+        } else if dst == self.0.id {
+            self.0.record_recv(bytes, kind);
+            0
+        } else {
+            0
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.0.nodes()
     }
 }
 
@@ -628,6 +728,23 @@ mod tests {
         assert_eq!(mesh[0].stats.msgs_sent, 1);
         assert_eq!(mesh[1].stats.msgs_recv, 1);
         assert_eq!(mesh[1].stats.bytes_recv, 4);
+    }
+
+    #[test]
+    fn frame_data_records_skips_nulls_and_spans_payloads() {
+        let mut mesh = ChannelEndpoint::mesh(&links(), true);
+        // Nulls ship their frame immediately: the first is a standalone
+        // frame (0 data records), the second rides behind two data records.
+        mesh[0].push_null(1, 777);
+        put(&mut mesh[0], 0, 1, MsgKind::Control, b"data");
+        put(&mut mesh[0], 1, 1, MsgKind::Diff, &vec![9u8; 300]);
+        mesh[0].push_null(1, 888);
+        mesh[0].flush();
+        let standalone = mesh[1].rx.try_recv().expect("standalone null frame");
+        assert_eq!(frame_data_records(&standalone.buf), 0);
+        let frame = mesh[1].rx.try_recv().expect("data frame");
+        assert_eq!(frame_data_records(&frame.buf), 2);
+        assert_eq!(frame_data_records(&[]), 0);
     }
 
     #[test]

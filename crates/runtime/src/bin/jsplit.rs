@@ -3,12 +3,19 @@
 //! ```text
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
-//!        [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]
+//!        [--backend sim|threads|sockets] [--lookahead global|per_pair] [--sync epoch|async]
 //!        [--no-batch] [--trace out.json] [--stats] [--wall-profile]
 //!        [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]
+//!        [--listen HOST:PORT] [--no-spawn]
+//! jsplit worker --connect HOST:PORT [--node-id N] [--connect-timeout SECS]
 //! jsplit info prog.mjvm          # class/method/instruction inventory
 //! jsplit demo out.mjvm           # write a demo program file to run
 //! ```
+//!
+//! `--backend sockets` runs the cluster as one OS process per node over
+//! TCP: by default the coordinator spawns the workers itself on localhost;
+//! with `--no-spawn` it prints its address and waits for externally
+//! launched `jsplit worker` processes (other terminals, other machines).
 //!
 //! Program files are produced with
 //! [`jsplit_mjvm::classfile_io::encode_program`] — the same bytes the
@@ -44,9 +51,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
-         \x20          [--backend sim|threads] [--lookahead global|per_pair] [--sync epoch|async]\n\
+         \x20          [--backend sim|threads|sockets] [--lookahead global|per_pair] [--sync epoch|async]\n\
          \x20          [--no-batch] [--trace out.json] [--stats] [--wall-profile]\n\
          \x20          [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]\n\
+         \x20          [--listen HOST:PORT] [--no-spawn]\n\
+         \x20 jsplit worker --connect HOST:PORT [--node-id N] [--connect-timeout SECS]\n\
          \x20 jsplit info <prog.mjvm>\n  jsplit demo <out.mjvm>"
     );
     std::process::exit(2);
@@ -60,9 +69,17 @@ fn main() {
     };
     match cmd {
         "run" => cmd_run(rest),
+        "worker" => cmd_worker(rest),
         "info" => cmd_info(rest),
         "demo" => cmd_demo(rest),
         _ => usage(),
+    }
+}
+
+fn cmd_worker(rest: &[String]) {
+    if let Err(e) = jsplit_runtime::sockets::worker_main(rest) {
+        eprintln!("jsplit worker: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -95,6 +112,8 @@ fn cmd_run(rest: &[String]) {
     let mut metrics_out: Option<String> = None;
     let mut metrics_interval: Option<Duration> = None;
     let mut watchdog: Option<Duration> = None;
+    let mut listen: Option<std::net::SocketAddr> = None;
+    let mut spawn_workers = true;
     let mut it = rest[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,9 +138,12 @@ fn cmd_run(rest: &[String]) {
                 backend = match it.next().map(String::as_str) {
                     Some("sim") => Backend::Sim,
                     Some("threads") => Backend::Threads,
+                    Some("sockets") => Backend::Sockets,
                     _ => usage(),
                 }
             }
+            "--listen" => listen = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())),
+            "--no-spawn" => spawn_workers = false,
             "--lookahead" => {
                 lookahead = match it.next().map(String::as_str) {
                     Some("global") => Lookahead::Global,
@@ -173,7 +195,12 @@ fn cmd_run(rest: &[String]) {
     cfg.lookahead = lookahead;
     cfg.sync = sync;
     cfg.wire_batch = wire_batch;
-    if trace_path.is_some() || stats {
+    cfg.sockets.listen = listen;
+    cfg.sockets.spawn_workers = spawn_workers;
+    // The sockets backend rejects tracing (per-node buffers would need
+    // their own wire format); `--stats` still works there from the
+    // aggregate counters alone.
+    if trace_path.is_some() || (stats && backend != Backend::Sockets) {
         cfg.trace = Some(jsplit_trace::TraceMode::Full);
     }
     // Any telemetry flag arms the registry + sampler; the watchdog rides on
@@ -204,6 +231,7 @@ fn cmd_run(rest: &[String]) {
     let backend_name = match backend {
         Backend::Sim => "sim",
         Backend::Threads => "threads",
+        Backend::Sockets => "sockets",
     };
     eprintln!(
         "[jsplit] mode={mode} backend={backend_name} nodes={} profile={} time={:.6}s setup={:.6}s wall={:.3}s threads={} msgs={} bytes={}",
@@ -216,7 +244,7 @@ fn cmd_run(rest: &[String]) {
         report.net_total().msgs_sent,
         report.net_total().bytes_sent,
     );
-    if backend == Backend::Threads {
+    if matches!(backend, Backend::Threads | Backend::Sockets) {
         let s = &report.sync;
         eprintln!(
             "[jsplit] sync mode={} windows={} barrier_waits={} frames={} msgs_batched={} bytes/frame={:.1}",

@@ -25,6 +25,42 @@ pub enum Backend {
     /// as encoded bytes. Virtual-time semantics are preserved (windowed
     /// conservative synchronization), wall-clock time is real.
     Threads,
+    /// Each node in its own OS *process*, frames crossing real TCP sockets
+    /// through a coordinator (the paper's deployment shape: independent
+    /// runtimes talking over standard IP sockets). Same conservative sync
+    /// engine as `Threads`; results are identical to the sim.
+    Sockets,
+}
+
+/// Sockets-backend deployment knobs ([`ClusterConfig::sockets`]).
+#[derive(Debug, Clone)]
+pub struct SocketsConfig {
+    /// Coordinator listen address (`None` = `127.0.0.1:0`, an ephemeral
+    /// localhost port — the spawn-workers default).
+    pub listen: Option<std::net::SocketAddr>,
+    /// Fork/exec one local worker process per node (`false` = print the
+    /// dial-in address and wait for externally launched workers).
+    pub spawn_workers: bool,
+    /// Worker executable (`None` = this binary, re-invoked with the
+    /// `worker` subcommand).
+    pub worker_bin: Option<std::path::PathBuf>,
+    /// How long a worker keeps retrying its dial-in (exponential backoff).
+    pub connect_timeout: std::time::Duration,
+    /// How long the coordinator waits for all workers to complete the
+    /// handshake before giving up and naming the missing node ids.
+    pub accept_timeout: std::time::Duration,
+}
+
+impl Default for SocketsConfig {
+    fn default() -> SocketsConfig {
+        SocketsConfig {
+            listen: None,
+            spawn_workers: true,
+            worker_bin: None,
+            connect_timeout: std::time::Duration::from_secs(10),
+            accept_timeout: std::time::Duration::from_secs(30),
+        }
+    }
 }
 
 /// How the threads backend bounds each synchronization window (sim runs are
@@ -92,7 +128,7 @@ impl Default for MetricsConfig {
 }
 
 /// One worker node (heterogeneous clusters mix profiles, paper §6).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeSpec {
     pub profile: JvmProfile,
 }
@@ -156,6 +192,8 @@ pub struct ClusterConfig {
     /// and flight recorder on the threads backend). `None` = off, the
     /// zero-cost default; on or off, runs are bit-identical.
     pub metrics: Option<MetricsConfig>,
+    /// Sockets-backend deployment knobs (ignored by the other backends).
+    pub sockets: SocketsConfig,
 }
 
 impl ClusterConfig {
@@ -179,6 +217,7 @@ impl ClusterConfig {
             sync: SyncMode::default(),
             wire_batch: true,
             metrics: None,
+            sockets: SocketsConfig::default(),
         }
     }
 
@@ -202,6 +241,7 @@ impl ClusterConfig {
             sync: SyncMode::default(),
             wire_batch: true,
             metrics: None,
+            sockets: SocketsConfig::default(),
         }
     }
 
@@ -225,6 +265,7 @@ impl ClusterConfig {
             sync: SyncMode::default(),
             wire_batch: true,
             metrics: None,
+            sockets: SocketsConfig::default(),
         }
     }
 
@@ -299,6 +340,12 @@ impl ClusterConfig {
     /// recorder per the [`MetricsConfig`]).
     pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Configure the sockets backend's deployment knobs.
+    pub fn with_sockets(mut self, sockets: SocketsConfig) -> Self {
+        self.sockets = sockets;
         self
     }
 }

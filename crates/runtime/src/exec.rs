@@ -494,5 +494,6 @@ pub fn run_cluster(config: ClusterConfig, program: &Program) -> Result<RunReport
     match config.backend {
         Backend::Sim => Ok(Cluster::new(config, program)?.run()),
         Backend::Threads => Ok(crate::threads::ThreadsDriver::new(config, program)?.run()),
+        Backend::Sockets => crate::sockets::SocketsDriver::new(config, program)?.run(),
     }
 }

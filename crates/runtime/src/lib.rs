@@ -39,10 +39,12 @@
 pub mod balance;
 pub mod config;
 pub mod driver;
+pub(crate) mod engine;
 pub mod env;
 pub mod exec;
 pub mod node;
 pub mod report;
+pub mod sockets;
 pub mod telemetry;
 pub mod threads;
 
@@ -52,5 +54,6 @@ pub use driver::{ClusterError, Driver};
 pub use exec::Cluster;
 pub use node::NodeRuntime;
 pub use report::{RunReport, SyncStats};
+pub use sockets::SocketsDriver;
 pub use telemetry::{Telemetry, Watchdog, WatchdogSpec};
 pub use threads::ThreadsDriver;

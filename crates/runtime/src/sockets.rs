@@ -1,0 +1,1319 @@
+//! The real-socket multi-process backend: one coordinator, one OS process
+//! per node, TCP between them — the paper's deployment shape taken off the
+//! single machine (§2: independent runtimes on commodity workstations).
+//!
+//! The conservative-sync engine is [`crate::engine`], unchanged from the
+//! threads backend; this module is the *instantiation* over processes that
+//! share no memory:
+//!
+//! * frames cross the wire as length-prefixed [`Envelope::Data`] messages
+//!   relayed by a star coordinator (workers never dial each other — the
+//!   coordinator is the switch, which keeps deployment to "every worker
+//!   knows one address"),
+//! * the epoch protocol's four primitives ([`EpochPeers`]) become
+//!   `Barrier`/`BarrierAck`/`Slot`/`Slots` round-trips. The ordering
+//!   argument that replaces the threads backend's Release/Acquire pair is
+//!   two FIFOs end to end: each worker's window data precedes its
+//!   `Barrier` on its own stream (per-stream FIFO), the coordinator's
+//!   relay loop is one thread draining one mpsc queue whose per-producer
+//!   FIFO keeps that order, so when the n-th `Barrier` is dequeued every
+//!   window frame has already been written toward its destination — and
+//!   per-stream FIFO again delivers those frames to each worker *before*
+//!   its `BarrierAck`. A worker that returns from the barrier therefore
+//!   holds everything its peers sent in the window, exactly the guarantee
+//!   the shared-memory barrier gave (DESIGN.md §16.2).
+//! * the async mode runs pure per-channel Chandy–Misra–Bryant promises
+//!   ([`SyncEngine::run_async_wire`]); the in-process mode's shared
+//!   send-coverage counters have no wire analogue, so *the coordinator*
+//!   owns termination: it counts the non-null records it relays toward
+//!   each worker ([`jsplit_net::transport::frame_data_records`]) and
+//!   declares the run over when every worker is idle (`qhead == MAX`) and
+//!   has drained exactly what was relayed to it — a report rides each
+//!   worker's stream *behind* every record it accounts for, so the count
+//!   comparison can never observe false quiescence (DESIGN.md §16.3).
+//!
+//! Handshake: a worker dials in (bounded retry with exponential backoff)
+//! and sends `Hello { magic, version, node_id, config_hash }`; the
+//! coordinator validates ([`jsplit_net::tcp::validate_hello`]) and answers
+//! `Welcome` carrying the full serialized cluster config and program, or
+//! `Reject { reason }` — a mismatched peer gets a clear error, never a
+//! hang. Every worker then runs [`driver::prepare`] deterministically from
+//! the same bytes, so rewrite output, image layout and gid assignment are
+//! identical across processes without shipping any derived state.
+//!
+//! Restrictions vs the threads backend: no mid-run joins, no tracing, no
+//! wall profiling, no live telemetry (those merge per-node in-memory
+//! buffers; over sockets they would need their own wire format). Virtual-
+//! time results — stdout, `exec_time_ps`, `NetStats`, `DsmStats` — are
+//! bit-identical to the sim and threads backends (asserted by the
+//! differential tests in `tests/sockets.rs`).
+
+use crate::balance::{Balancer, BalancerState};
+use crate::config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec, SocketsConfig, SyncMode};
+use crate::driver::{self, ClusterError, Prepared};
+use crate::engine::{async_done, EpochPeers, EpochSlot, Horizons, SyncEngine, WirePeers};
+use crate::env::CONSOLE_NODE;
+use crate::node::NodeRuntime;
+use crate::report::{RunReport, SyncStats};
+use jsplit_dsm::{DsmStats, ProtocolMode};
+use jsplit_mjvm::classfile_io::{decode_program, encode_program};
+use jsplit_mjvm::cost::JvmProfile;
+use jsplit_mjvm::heap::ThreadUid;
+use jsplit_mjvm::interp::VmError;
+use jsplit_net::codec::{CodecError, Reader, Writer};
+use jsplit_net::tcp::{self, Envelope, HandshakeExpect, SlotWire, TcpFrameLink, ANY_NODE, MAGIC, VERSION};
+use jsplit_net::transport::{frame_data_records, FrameStats};
+use jsplit_net::{ChannelEndpoint, Frame, NetStats, NodeId, SoloSetup};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long an accepted socket may dawdle over its `Hello` before the
+/// coordinator gives up on it (a non-worker that dialed in and sent
+/// nothing must not stall the whole accept phase).
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+// ---------------------------------------------------------------------------
+// Cluster-config wire form
+// ---------------------------------------------------------------------------
+
+/// Serialize the run-relevant subset of a [`ClusterConfig`] — everything
+/// that affects virtual-time results. Deployment knobs (`sockets`,
+/// `metrics`, `trace`, `profile`) are per-process concerns and stay out,
+/// which also keeps them out of the handshake's config hash.
+fn encode_wire_config(cfg: &ClusterConfig) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(match cfg.mode {
+        Mode::Baseline => 0,
+        Mode::JavaSplit => 1,
+    });
+    w.varu(cfg.nodes.len() as u64);
+    for spec in &cfg.nodes {
+        w.u8(match spec.profile {
+            JvmProfile::SunSim => 0,
+            JvmProfile::IbmSim => 1,
+        });
+    }
+    w.varu(cfg.cpus_per_node as u64);
+    w.u8(match cfg.protocol {
+        ProtocolMode::MtsHlrc => 0,
+        ProtocolMode::ClassicHlrc => 1,
+    });
+    w.u8(match cfg.balancer {
+        Balancer::LeastLoaded => 0,
+        Balancer::RoundRobin => 1,
+        Balancer::Pinned => 2,
+    });
+    w.u32(cfg.fuel);
+    w.u64(cfg.max_ops);
+    w.u8(cfg.disable_local_locks as u8);
+    match cfg.array_chunk {
+        None => {
+            w.u8(0);
+        }
+        Some(c) => {
+            w.u8(1).u32(c);
+        }
+    }
+    w.u8(match cfg.lookahead {
+        Lookahead::Global => 0,
+        Lookahead::PerPair => 1,
+    });
+    w.u8(match cfg.sync {
+        SyncMode::Epoch => 0,
+        SyncMode::Async => 1,
+    });
+    w.u8(cfg.wire_batch as u8);
+    w.into_inner()
+}
+
+fn decode_wire_config(bytes: &[u8]) -> Result<ClusterConfig, CodecError> {
+    let mut r = Reader::new(bytes);
+    let mode = match r.u8()? {
+        0 => Mode::Baseline,
+        1 => Mode::JavaSplit,
+        _ => return Err(CodecError("bad mode byte")),
+    };
+    let n = r.varu()? as usize;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(NodeSpec {
+            profile: match r.u8()? {
+                0 => JvmProfile::SunSim,
+                1 => JvmProfile::IbmSim,
+                _ => return Err(CodecError("bad profile byte")),
+            },
+        });
+    }
+    let cpus_per_node = r.varu()? as usize;
+    let protocol = match r.u8()? {
+        0 => ProtocolMode::MtsHlrc,
+        1 => ProtocolMode::ClassicHlrc,
+        _ => return Err(CodecError("bad protocol byte")),
+    };
+    let balancer = match r.u8()? {
+        0 => Balancer::LeastLoaded,
+        1 => Balancer::RoundRobin,
+        2 => Balancer::Pinned,
+        _ => return Err(CodecError("bad balancer byte")),
+    };
+    let fuel = r.u32()?;
+    let max_ops = r.u64()?;
+    let disable_local_locks = r.u8()? != 0;
+    let array_chunk = match r.u8()? {
+        0 => None,
+        _ => Some(r.u32()?),
+    };
+    let lookahead = match r.u8()? {
+        0 => Lookahead::Global,
+        1 => Lookahead::PerPair,
+        _ => return Err(CodecError("bad lookahead byte")),
+    };
+    let sync = match r.u8()? {
+        0 => SyncMode::Epoch,
+        1 => SyncMode::Async,
+        _ => return Err(CodecError("bad sync byte")),
+    };
+    let wire_batch = r.u8()? != 0;
+    Ok(ClusterConfig {
+        mode,
+        nodes,
+        cpus_per_node,
+        protocol,
+        balancer,
+        fuel,
+        max_ops,
+        joins: Vec::new(),
+        disable_local_locks,
+        array_chunk,
+        trace: None,
+        profile: false,
+        backend: Backend::Sockets,
+        lookahead,
+        sync,
+        wire_batch,
+        metrics: None,
+        sockets: SocketsConfig::default(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker report wire form
+// ---------------------------------------------------------------------------
+
+/// Everything one worker contributes to the final [`RunReport`], carried
+/// home in the `Report` envelope.
+#[derive(Debug, PartialEq)]
+struct WorkerReport {
+    console: Vec<String>,
+    errors: Vec<(ThreadUid, VmError)>,
+    deadlocked: bool,
+    aborted: bool,
+    ops: u64,
+    spawned_here: u32,
+    finish_time: u64,
+    slab_high_water: u64,
+    windows: u64,
+    barrier_waits: u64,
+    horizon_advances: u64,
+    setup_ps: u64,
+    net: NetStats,
+    dsm: Option<DsmStats>,
+    frames: FrameStats,
+}
+
+fn encode_vm_error(w: &mut Writer, e: &VmError) {
+    match e {
+        VmError::NullDeref { method, pc } => {
+            w.u8(0).str(method).varu(*pc as u64);
+        }
+        VmError::DivByZero { method, pc } => {
+            w.u8(1).str(method).varu(*pc as u64);
+        }
+        VmError::IndexOutOfBounds { len, idx } => {
+            w.u8(2).varu(*len as u64).i64(*idx);
+        }
+        VmError::NegativeArraySize(s) => {
+            w.u8(3).i64(*s);
+        }
+        VmError::StackUnderflow { method, pc } => {
+            w.u8(4).str(method).varu(*pc as u64);
+        }
+        VmError::IllegalMonitorState { op } => {
+            w.u8(5).str(op);
+        }
+        VmError::NoSuchMethod(m) => {
+            w.u8(6).str(m);
+        }
+        VmError::Unquickened(m) => {
+            w.u8(7).str(m);
+        }
+        VmError::TypeMismatch(m) => {
+            w.u8(8).str(m);
+        }
+        VmError::VolatileStackEmpty => {
+            w.u8(9);
+        }
+    }
+}
+
+fn decode_vm_error(r: &mut Reader<&[u8]>) -> Result<VmError, CodecError> {
+    Ok(match r.u8()? {
+        0 => VmError::NullDeref { method: r.str()?, pc: r.varu()? as usize },
+        1 => VmError::DivByZero { method: r.str()?, pc: r.varu()? as usize },
+        2 => VmError::IndexOutOfBounds { len: r.varu()? as usize, idx: r.i64()? },
+        3 => VmError::NegativeArraySize(r.i64()?),
+        4 => VmError::StackUnderflow { method: r.str()?, pc: r.varu()? as usize },
+        // `op` names a monitor operation — a tiny static set; the leak is
+        // bounded by the handful of distinct error strings per run.
+        5 => VmError::IllegalMonitorState { op: Box::leak(r.str()?.into_boxed_str()) },
+        6 => VmError::NoSuchMethod(r.str()?),
+        7 => VmError::Unquickened(r.str()?),
+        8 => VmError::TypeMismatch(r.str()?),
+        9 => VmError::VolatileStackEmpty,
+        _ => return Err(CodecError("bad VmError tag")),
+    })
+}
+
+fn encode_net_stats(w: &mut Writer, s: &NetStats) {
+    w.u64(s.msgs_sent).u64(s.msgs_recv).u64(s.bytes_sent).u64(s.bytes_recv);
+    for arr in [&s.sent_by_kind, &s.bytes_by_kind, &s.recv_by_kind, &s.recv_bytes_by_kind] {
+        for v in arr {
+            w.u64(*v);
+        }
+    }
+}
+
+fn decode_net_stats(r: &mut Reader<&[u8]>) -> Result<NetStats, CodecError> {
+    let mut s = NetStats {
+        msgs_sent: r.u64()?,
+        msgs_recv: r.u64()?,
+        bytes_sent: r.u64()?,
+        bytes_recv: r.u64()?,
+        ..NetStats::default()
+    };
+    for arr in [&mut s.sent_by_kind, &mut s.bytes_by_kind, &mut s.recv_by_kind, &mut s.recv_bytes_by_kind] {
+        for v in arr.iter_mut() {
+            *v = r.u64()?;
+        }
+    }
+    Ok(s)
+}
+
+fn encode_dsm_stats(w: &mut Writer, s: &DsmStats) {
+    w.u64(s.promotions)
+        .u64(s.local_acquires)
+        .u64(s.shared_acquires_local)
+        .u64(s.shared_acquires_remote)
+        .u64(s.grants_sent)
+        .u64(s.fetches)
+        .u64(s.diffs_sent)
+        .u64(s.diff_fields)
+        .u64(s.diffs_applied)
+        .u64(s.releases_awaiting_acks)
+        .u64(s.invalidations)
+        .u64(s.waits)
+        .u64(s.notifies)
+        .varu(s.notices_stored_max as u64)
+        .varu(s.notice_mem_max as u64)
+        .u64(s.homed_objects)
+        .u64(s.fetches_delayed_at_home);
+}
+
+fn decode_dsm_stats(r: &mut Reader<&[u8]>) -> Result<DsmStats, CodecError> {
+    Ok(DsmStats {
+        promotions: r.u64()?,
+        local_acquires: r.u64()?,
+        shared_acquires_local: r.u64()?,
+        shared_acquires_remote: r.u64()?,
+        grants_sent: r.u64()?,
+        fetches: r.u64()?,
+        diffs_sent: r.u64()?,
+        diff_fields: r.u64()?,
+        diffs_applied: r.u64()?,
+        releases_awaiting_acks: r.u64()?,
+        invalidations: r.u64()?,
+        waits: r.u64()?,
+        notifies: r.u64()?,
+        notices_stored_max: r.varu()? as usize,
+        notice_mem_max: r.varu()? as usize,
+        homed_objects: r.u64()?,
+        fetches_delayed_at_home: r.u64()?,
+    })
+}
+
+fn encode_worker_report(rep: &WorkerReport) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.varu(rep.console.len() as u64);
+    for line in &rep.console {
+        w.str(line);
+    }
+    w.varu(rep.errors.len() as u64);
+    for (uid, e) in &rep.errors {
+        w.varu(*uid as u64);
+        encode_vm_error(&mut w, e);
+    }
+    w.u8(rep.deadlocked as u8).u8(rep.aborted as u8);
+    w.u64(rep.ops)
+        .u32(rep.spawned_here)
+        .u64(rep.finish_time)
+        .u64(rep.slab_high_water)
+        .u64(rep.windows)
+        .u64(rep.barrier_waits)
+        .u64(rep.horizon_advances)
+        .u64(rep.setup_ps);
+    encode_net_stats(&mut w, &rep.net);
+    match &rep.dsm {
+        None => {
+            w.u8(0);
+        }
+        Some(d) => {
+            w.u8(1);
+            encode_dsm_stats(&mut w, d);
+        }
+    }
+    w.u64(rep.frames.frames_sent)
+        .u64(rep.frames.frame_bytes)
+        .u64(rep.frames.msgs_framed)
+        .u64(rep.frames.nulls_sent)
+        .u64(rep.frames.nulls_piggybacked);
+    w.into_inner()
+}
+
+fn decode_worker_report(bytes: &[u8]) -> Result<WorkerReport, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n_console = r.varu()? as usize;
+    let mut console = Vec::with_capacity(n_console.min(1 << 16));
+    for _ in 0..n_console {
+        console.push(r.str()?);
+    }
+    let n_errors = r.varu()? as usize;
+    let mut errors = Vec::with_capacity(n_errors.min(1 << 16));
+    for _ in 0..n_errors {
+        let uid = r.varu()? as ThreadUid;
+        errors.push((uid, decode_vm_error(&mut r)?));
+    }
+    let deadlocked = r.u8()? != 0;
+    let aborted = r.u8()? != 0;
+    let ops = r.u64()?;
+    let spawned_here = r.u32()?;
+    let finish_time = r.u64()?;
+    let slab_high_water = r.u64()?;
+    let windows = r.u64()?;
+    let barrier_waits = r.u64()?;
+    let horizon_advances = r.u64()?;
+    let setup_ps = r.u64()?;
+    let net = decode_net_stats(&mut r)?;
+    let dsm = match r.u8()? {
+        0 => None,
+        _ => Some(decode_dsm_stats(&mut r)?),
+    };
+    let frames = FrameStats {
+        frames_sent: r.u64()?,
+        frame_bytes: r.u64()?,
+        msgs_framed: r.u64()?,
+        nulls_sent: r.u64()?,
+        nulls_piggybacked: r.u64()?,
+    };
+    Ok(WorkerReport {
+        console,
+        errors,
+        deadlocked,
+        aborted,
+        ops,
+        spawned_here,
+        finish_time,
+        slab_high_water,
+        windows,
+        barrier_waits,
+        horizon_advances,
+        setup_ps,
+        net,
+        dsm,
+        frames,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side peers: the engine's seams mapped onto the coordinator link
+// ---------------------------------------------------------------------------
+
+/// The worker's view of its peers: one socket to the coordinator (writes
+/// go out directly; the ingress pump routes inbound `Data` into the
+/// endpoint's frame channel and everything else into `ctrl`). Implements
+/// both engine seams — [`EpochPeers`] as envelope round-trips, and
+/// [`WirePeers`] for the coordinator-terminated async mode. Connection
+/// loss panics, matching [`TcpFrameLink`]: a worker without its
+/// coordinator has no recovery path, and the process exit *is* the error
+/// signal the coordinator acts on.
+struct WirePeerLink {
+    sock: TcpStream,
+    ctrl: Receiver<io::Result<Envelope>>,
+    me: NodeId,
+    /// Round counter for [`EpochPeers::barrier`] (the engine does not pass
+    /// one); advances in lockstep with the engine's own round variable.
+    round: u64,
+    /// Peer slots from the last `Slots` broadcast, held for `read`.
+    slots: Vec<SlotWire>,
+}
+
+impl WirePeerLink {
+    fn send(&mut self, env: &Envelope) {
+        tcp::write_envelope(&mut self.sock, env)
+            .unwrap_or_else(|e| panic!("worker {}: coordinator connection lost: {e}", self.me));
+    }
+
+    fn recv_ctrl(&mut self) -> Envelope {
+        match self.ctrl.recv() {
+            Ok(Ok(env)) => env,
+            Ok(Err(e)) => panic!("worker {}: coordinator connection lost: {e}", self.me),
+            Err(_) => panic!("worker {}: ingress pump exited", self.me),
+        }
+    }
+}
+
+impl EpochPeers for WirePeerLink {
+    fn barrier(&mut self) {
+        self.round += 1;
+        let round = self.round;
+        self.send(&Envelope::Barrier { round });
+        // The ack arrives strictly after every window frame the
+        // coordinator relayed to us (per-stream FIFO), so returning here
+        // gives the same "all previous-window sends are inbound" guarantee
+        // as the shared-memory barrier.
+        match self.recv_ctrl() {
+            Envelope::BarrierAck { round: r } if r == round => {}
+            other => panic!("worker {}: expected BarrierAck({round}), got {other:?}", self.me),
+        }
+    }
+
+    fn publish(&mut self, _me: NodeId, round: u64, slot: &EpochSlot) {
+        self.send(&Envelope::Slot {
+            round,
+            slot: [slot.next_event, slot.live, slot.spawns_sent, slot.spawns_recv, slot.ops],
+        });
+    }
+
+    fn wait(&mut self, round: u64, before_park: &mut dyn FnMut()) -> bool {
+        let mut parked = false;
+        let env = match self.ctrl.try_recv() {
+            Ok(Ok(env)) => env,
+            Ok(Err(e)) => panic!("worker {}: coordinator connection lost: {e}", self.me),
+            Err(TryRecvError::Empty) => {
+                parked = true;
+                before_park();
+                self.recv_ctrl()
+            }
+            Err(TryRecvError::Disconnected) => panic!("worker {}: ingress pump exited", self.me),
+        };
+        match env {
+            Envelope::Slots { round: r, slots } if r == round => self.slots = slots,
+            other => panic!("worker {}: expected Slots({round}), got {other:?}", self.me),
+        }
+        parked
+    }
+
+    fn read(&mut self, _round: u64, out: &mut [EpochSlot]) {
+        for (o, s) in out.iter_mut().zip(&self.slots) {
+            *o = EpochSlot {
+                next_event: s[0],
+                live: s[1],
+                spawns_sent: s[2],
+                spawns_recv: s[3],
+                ops: s[4],
+            };
+        }
+    }
+}
+
+impl WirePeers for WirePeerLink {
+    fn poll_done(&mut self) -> Option<u64> {
+        match self.ctrl.try_recv() {
+            Ok(Ok(Envelope::Done { outcome })) => Some(outcome as u64),
+            Ok(Ok(other)) => panic!("worker {}: unexpected {other:?} before Done", self.me),
+            Ok(Err(e)) => panic!("worker {}: coordinator connection lost: {e}", self.me),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("worker {}: ingress pump exited", self.me),
+        }
+    }
+
+    fn send_state(&mut self, qhead: u64, drained: u64, live: u64, ops: u64) {
+        self.send(&Envelope::State { qhead, drained, live, ops });
+    }
+
+    fn flush_rendezvous(&mut self) {
+        self.send(&Envelope::Flushed);
+        // `Shutdown` is broadcast only after all n `Flushed` reports were
+        // dequeued, and each worker's leftover frames precede its
+        // `Flushed` — so per-stream FIFO puts every peer's leftovers in
+        // our channel before this returns.
+        match self.recv_ctrl() {
+            Envelope::Shutdown => {}
+            other => panic!("worker {}: expected Shutdown, got {other:?}", self.me),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker process
+// ---------------------------------------------------------------------------
+
+/// Entry point for `jsplit worker ...`: parse the worker flags and run to
+/// completion against the coordinator.
+pub fn worker_main(args: &[String]) -> Result<(), ClusterError> {
+    let mut connect: Option<String> = None;
+    let mut node_id: Option<u16> = None;
+    let mut config_hash = 0u64;
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| ClusterError::Config(format!("worker: {flag} needs a value")))
+        };
+        match a.as_str() {
+            "--connect" => connect = Some(val("--connect")?),
+            "--node-id" => {
+                node_id = Some(val("--node-id")?.parse().map_err(|e| {
+                    ClusterError::Config(format!("worker: bad --node-id: {e}"))
+                })?)
+            }
+            "--config-hash" => {
+                config_hash = val("--config-hash")?.parse().map_err(|e| {
+                    ClusterError::Config(format!("worker: bad --config-hash: {e}"))
+                })?
+            }
+            "--connect-timeout" => {
+                let secs: f64 = val("--connect-timeout")?.parse().map_err(|e| {
+                    ClusterError::Config(format!("worker: bad --connect-timeout: {e}"))
+                })?;
+                connect_timeout = Duration::from_secs_f64(secs.max(0.0));
+            }
+            other => return Err(ClusterError::Config(format!("worker: unknown flag {other}"))),
+        }
+    }
+    let connect = connect
+        .ok_or_else(|| ClusterError::Config("worker: --connect HOST:PORT is required".into()))?;
+    run_worker(&connect, node_id, config_hash, connect_timeout)
+}
+
+/// Dial the coordinator with bounded exponential backoff (25 ms doubling
+/// to a 500 ms cap) until `timeout` is spent.
+fn dial(connect: &str, timeout: Duration) -> Result<TcpStream, ClusterError> {
+    let deadline = Instant::now() + timeout;
+    let mut delay = Duration::from_millis(25);
+    loop {
+        match TcpStream::connect(connect) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() + delay >= deadline {
+                    return Err(ClusterError::Config(format!(
+                        "worker: cannot reach coordinator at {connect} within {timeout:?}: {e}"
+                    )));
+                }
+                thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+/// Run one worker process: handshake, deterministic bootstrap, engine run,
+/// final report.
+pub fn run_worker(
+    connect: &str,
+    node_id: Option<u16>,
+    config_hash: u64,
+    connect_timeout: Duration,
+) -> Result<(), ClusterError> {
+    let mut stream = dial(connect, connect_timeout)?;
+    let _ = stream.set_nodelay(true);
+    let sock_err = |e: io::Error| ClusterError::Config(format!("worker: coordinator connection failed: {e}"));
+    tcp::write_envelope(
+        &mut stream,
+        &Envelope::Hello {
+            magic: MAGIC,
+            version: VERSION,
+            node_id: node_id.unwrap_or(ANY_NODE),
+            config_hash,
+        },
+    )
+    .map_err(sock_err)?;
+    let (me, n, cfg_blob, program_bytes) = match tcp::read_envelope(&mut stream).map_err(sock_err)? {
+        Envelope::Welcome { node_id, nodes, config_hash: _, config, program } => {
+            (node_id, nodes as usize, config, program)
+        }
+        Envelope::Reject { reason } => {
+            return Err(ClusterError::Config(format!("worker: coordinator rejected handshake: {reason}")))
+        }
+        other => {
+            return Err(ClusterError::Config(format!("worker: expected Welcome, got {other:?}")))
+        }
+    };
+    let config = decode_wire_config(&cfg_blob)
+        .map_err(|e| ClusterError::Config(format!("worker {me}: bad wire config: {e}")))?;
+    if config.nodes.len() != n {
+        return Err(ClusterError::Config(format!(
+            "worker {me}: Welcome says {n} nodes but the config carries {}",
+            config.nodes.len()
+        )));
+    }
+    let program = decode_program(&program_bytes)
+        .map_err(|e| ClusterError::Config(format!("worker {me}: bad wire program: {e:?}")))?;
+    // The same deterministic preparation every process runs from the same
+    // bytes: rewrite, image, class-distribution size — no derived state
+    // crosses the wire.
+    let prepared = driver::prepare(&config, &program)?;
+    let links: Vec<_> = config.nodes.iter().map(|s| driver::link_params(*s)).collect();
+    for l in &links {
+        assert!(
+            l.loopback_ps() <= l.base_ps(),
+            "loopback bound {} ps above link base {} ps",
+            l.loopback_ps(),
+            l.base_ps()
+        );
+    }
+
+    // Endpoint plumbing: the engine writes the socket directly (TcpFrameLink),
+    // the ingress pump feeds decoded Data frames into `frame_rx` and
+    // control envelopes into `ctrl` — with an empty-frame doorbell so an
+    // engine parked in `wait_inbound` wakes for control traffic too.
+    let (frame_tx, frame_rx) = mpsc::channel::<Frame>();
+    let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+    let (ctrl_tx, ctrl_rx) = mpsc::channel::<io::Result<Envelope>>();
+    let wire = Box::new(TcpFrameLink::new(stream.try_clone().map_err(sock_err)?, pool_tx));
+    let mut endpoint =
+        ChannelEndpoint::single(me, n, links[me as usize], wire, frame_rx, pool_rx, config.wire_batch);
+    let mut pump_stream = stream.try_clone().map_err(sock_err)?;
+    thread::spawn(move || loop {
+        match tcp::read_envelope(&mut pump_stream) {
+            Ok(Envelope::Data { src, frame, .. }) => {
+                if frame_tx.send(Frame { src, buf: frame }).is_err() {
+                    return;
+                }
+            }
+            Ok(env) => {
+                let stop = matches!(env, Envelope::Shutdown);
+                let _ = ctrl_tx.send(Ok(env));
+                let _ = frame_tx.send(Frame { src: me, buf: Vec::new() });
+                if stop {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = ctrl_tx.send(Err(e));
+                let _ = frame_tx.send(Frame { src: me, buf: Vec::new() });
+                return;
+            }
+        }
+    });
+
+    let mut node =
+        NodeRuntime::new(me, config.nodes[me as usize], &config, prepared.image.clone(), prepared.thread_class);
+    // Setup accounting, replicated per process: worker 0 plans the class
+    // sends (it is the console node that ships them), every other worker
+    // records its own receive — together they reproduce exactly the mesh
+    // accounting the threads driver does centrally, without any setup
+    // bytes actually crossing the wire.
+    let mut setup_ps = 0u64;
+    if config.mode == Mode::JavaSplit {
+        if me == CONSOLE_NODE {
+            for dst in 1..n {
+                let at = driver::ship_classes(&mut SoloSetup(&mut endpoint), 0, dst as NodeId, prepared.class_bytes);
+                setup_ps = setup_ps.max(at);
+            }
+            driver::bootstrap_statics(std::slice::from_mut(&mut node), &prepared.image);
+        } else {
+            driver::ship_classes(&mut SoloSetup(&mut endpoint), 0, me, prepared.class_bytes);
+            // Replay node 0's singleton creation on a scratch runtime: gid
+            // assignment is deterministic, so the specs come out identical
+            // to the ones the real node 0 produced in its own process.
+            let mut scratch =
+                NodeRuntime::new(0, config.nodes[0], &config, prepared.image.clone(), prepared.thread_class);
+            driver::bootstrap_statics(std::slice::from_mut(&mut scratch), &prepared.image);
+            let singles = driver::singleton_specs(&mut scratch, &prepared.image);
+            driver::install_singletons(&mut node, &prepared.image, &singles);
+        }
+    }
+
+    let base_ps: Vec<u64> = links.iter().map(|l| l.base_ps()).collect();
+    let hz = Horizons::new(base_ps, config.lookahead, config.max_ops);
+    let main_method = prepared.image.main_method;
+    let main_locals = prepared.image.method(main_method).max_locals;
+    let mut eng = SyncEngine::new(
+        node,
+        endpoint,
+        hz,
+        config.mode,
+        prepared.thread_main,
+        n,
+        BalancerState::new(config.balancer),
+    );
+    eng.t0 = Instant::now();
+    if me == CONSOLE_NODE {
+        eng.bootstrap_main(main_method, main_locals);
+    }
+    eng.drain_trace(0);
+    let mut link = WirePeerLink {
+        sock: stream.try_clone().map_err(sock_err)?,
+        ctrl: ctrl_rx,
+        me,
+        round: 0,
+        slots: vec![[0; 5]; n],
+    };
+    let mut outcome = match config.sync {
+        SyncMode::Epoch => eng.run_epoch(&mut link),
+        SyncMode::Async => eng.run_async_wire(&mut link),
+    };
+
+    let console = if me == CONSOLE_NODE { outcome.node.take_console() } else { Vec::new() };
+    let rep = WorkerReport {
+        console,
+        errors: std::mem::take(&mut outcome.errors),
+        deadlocked: outcome.deadlocked,
+        aborted: outcome.aborted,
+        ops: outcome.node.ops,
+        spawned_here: outcome.node.spawned_here,
+        finish_time: outcome.node.finish_time,
+        slab_high_water: outcome.slab_high_water,
+        windows: outcome.windows,
+        barrier_waits: outcome.barrier_waits,
+        horizon_advances: outcome.horizon_advances,
+        setup_ps,
+        net: outcome.endpoint.stats.clone(),
+        dsm: outcome.node.dsm_stats(),
+        frames: outcome.endpoint.frame_stats,
+    };
+    tcp::write_envelope(&mut stream, &Envelope::Report { body: encode_worker_report(&rep) })
+        .map_err(sock_err)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// The multi-process backend's coordinator: binds a listener, (optionally)
+/// fork/execs one worker per node, handshakes them in, then acts as the
+/// cluster's star switch — relaying data frames, sequencing epoch rounds,
+/// and (async mode) deciding termination — until every worker has filed
+/// its [`WorkerReport`].
+pub struct SocketsDriver {
+    config: ClusterConfig,
+    prepared: Prepared,
+    cfg_blob: Vec<u8>,
+    program_bytes: Vec<u8>,
+    config_hash: u64,
+}
+
+impl SocketsDriver {
+    pub fn new(config: ClusterConfig, program: &jsplit_mjvm::class::Program) -> Result<SocketsDriver, ClusterError> {
+        if !config.joins.is_empty() {
+            return Err(ClusterError::Config(
+                "the sockets backend does not support mid-run joins; use the sim backend".into(),
+            ));
+        }
+        if config.trace.is_some() || config.profile {
+            return Err(ClusterError::Config(
+                "the sockets backend does not support tracing/profiling; use the threads backend".into(),
+            ));
+        }
+        if config.metrics.is_some() {
+            return Err(ClusterError::Config(
+                "the sockets backend does not support live telemetry; use the threads backend".into(),
+            ));
+        }
+        if config.nodes.len() >= ANY_NODE as usize {
+            return Err(ClusterError::Config(format!(
+                "the sockets backend supports at most {} nodes",
+                ANY_NODE - 1
+            )));
+        }
+        // Validate the config and compute what the report needs (rewrite
+        // stats, class-distribution size); the workers re-derive the same
+        // image from the wire bytes.
+        let prepared = driver::prepare(&config, program)?;
+        let cfg_blob = encode_wire_config(&config);
+        let program_bytes = encode_program(program);
+        let config_hash = tcp::fnv1a(&[&cfg_blob, &program_bytes]);
+        Ok(SocketsDriver { config, prepared, cfg_blob, program_bytes, config_hash })
+    }
+
+    pub fn run(self) -> Result<RunReport, ClusterError> {
+        let mut children: Vec<(u16, Child)> = Vec::new();
+        let result = self.run_inner(&mut children);
+        if result.is_err() {
+            for (_, c) in children.iter_mut() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+        result
+    }
+
+    fn run_inner(self, children: &mut Vec<(u16, Child)>) -> Result<RunReport, ClusterError> {
+        let started = Instant::now();
+        let n = self.config.nodes.len();
+        let sockets = self.config.sockets.clone();
+        let listen = sockets.listen.unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)));
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| ClusterError::Config(format!("sockets coordinator: cannot bind {listen}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Config(format!("sockets coordinator: local_addr: {e}")))?;
+
+        if sockets.spawn_workers {
+            let bin = match &sockets.worker_bin {
+                Some(p) => p.clone(),
+                None => std::env::current_exe()
+                    .map_err(|e| ClusterError::Config(format!("sockets coordinator: current_exe: {e}")))?,
+            };
+            for i in 0..n as u16 {
+                let child = Command::new(&bin)
+                    .arg("worker")
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .arg("--node-id")
+                    .arg(i.to_string())
+                    .arg("--config-hash")
+                    .arg(self.config_hash.to_string())
+                    .arg("--connect-timeout")
+                    .arg(format!("{}", sockets.connect_timeout.as_secs_f64()))
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| {
+                        ClusterError::Config(format!(
+                            "sockets coordinator: cannot spawn worker {i} ({}): {e}",
+                            bin.display()
+                        ))
+                    })?;
+                children.push((i, child));
+            }
+        } else {
+            eprintln!(
+                "jsplit sockets: waiting for {n} worker(s) on {addr} — start each with \
+                 `jsplit worker --connect {addr}`"
+            );
+        }
+
+        // Accept phase: non-blocking listener under a deadline, so a
+        // worker that never dials in (or a spawned process that died)
+        // turns into a clear error naming the missing node ids instead of
+        // a hang.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ClusterError::Config(format!("sockets coordinator: set_nonblocking: {e}")))?;
+        let deadline = Instant::now() + sockets.accept_timeout;
+        let expect = HandshakeExpect { nodes: n as u16, config_hash: self.config_hash };
+        let mut claimed = vec![false; n];
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut rejections: Vec<String> = Vec::new();
+        while claimed.iter().any(|c| !c) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let mut s = stream;
+                    let _ = s.set_nonblocking(false);
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(HELLO_TIMEOUT));
+                    match tcp::read_envelope(&mut s) {
+                        Ok(hello) => match tcp::validate_hello(&hello, expect, &claimed) {
+                            Ok(id) => {
+                                tcp::write_envelope(
+                                    &mut s,
+                                    &Envelope::Welcome {
+                                        node_id: id,
+                                        nodes: n as u16,
+                                        config_hash: self.config_hash,
+                                        config: self.cfg_blob.clone(),
+                                        program: self.program_bytes.clone(),
+                                    },
+                                )
+                                .map_err(|e| {
+                                    ClusterError::Config(format!(
+                                        "sockets coordinator: Welcome to node {id} failed: {e}"
+                                    ))
+                                })?;
+                                let _ = s.set_read_timeout(None);
+                                claimed[id as usize] = true;
+                                streams[id as usize] = Some(s);
+                            }
+                            Err(reason) => {
+                                let _ = tcp::write_envelope(&mut s, &Envelope::Reject { reason: reason.clone() });
+                                eprintln!("jsplit sockets: rejected dial-in from {peer}: {reason}");
+                                rejections.push(format!("{peer}: {reason}"));
+                            }
+                        },
+                        Err(e) => rejections.push(format!("{peer}: bad hello: {e}")),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    for (id, c) in children.iter_mut() {
+                        if !claimed[*id as usize] {
+                            if let Ok(Some(status)) = c.try_wait() {
+                                return Err(ClusterError::Config(format!(
+                                    "sockets coordinator: worker process for node {id} exited during the handshake ({status})"
+                                )));
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        let missing: Vec<String> = claimed
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, c)| !c)
+                            .map(|(i, _)| i.to_string())
+                            .collect();
+                        let mut msg = format!(
+                            "sockets coordinator: worker(s) for node id(s) {} never completed the handshake within {:?}",
+                            missing.join(", "),
+                            sockets.accept_timeout
+                        );
+                        if !rejections.is_empty() {
+                            msg.push_str(&format!("; rejected dial-ins: {}", rejections.join("; ")));
+                        }
+                        return Err(ClusterError::Config(msg));
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(ClusterError::Config(format!("sockets coordinator: accept failed: {e}"))),
+            }
+        }
+        drop(listener);
+        let mut streams: Vec<TcpStream> = streams.into_iter().map(|s| s.expect("claimed")).collect();
+
+        // One reader thread per worker feeds a single sequencing queue;
+        // this main thread does every write. Per-producer mpsc FIFO is the
+        // ordering backbone: a worker's Data is dequeued before its
+        // Barrier/Slot/State/Flushed, so every broadcast below happens
+        // after the frames it logically follows have been relayed.
+        let (tx, rx) = mpsc::channel::<(u16, io::Result<Envelope>)>();
+        for (id, s) in streams.iter().enumerate() {
+            let mut rs = s
+                .try_clone()
+                .map_err(|e| ClusterError::Config(format!("sockets coordinator: clone stream {id}: {e}")))?;
+            let tx: Sender<(u16, io::Result<Envelope>)> = tx.clone();
+            let id = id as u16;
+            thread::spawn(move || loop {
+                match tcp::read_envelope(&mut rs) {
+                    Ok(env) => {
+                        let last = matches!(env, Envelope::Report { .. });
+                        if tx.send((id, Ok(env))).is_err() || last {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send((id, Err(e)));
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut fwd_to = vec![0u64; n];
+        let mut barrier_pending: HashMap<u64, u16> = HashMap::new();
+        let mut slot_pending: HashMap<u64, (u16, Vec<SlotWire>)> = HashMap::new();
+        let mut states: Vec<Option<(u64, u64, u64, u64)>> = vec![None; n];
+        let mut done_sent = false;
+        let mut flushed = 0usize;
+        let mut report_blobs: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut reports_in = 0usize;
+        let werr = |id: u16, e: io::Error| {
+            ClusterError::Config(format!("sockets coordinator: write to worker {id} failed: {e}"))
+        };
+        while reports_in < n {
+            let (from, env) = rx
+                .recv()
+                .map_err(|_| ClusterError::Config("sockets coordinator: all worker connections lost".into()))?;
+            let env = env.map_err(|e| {
+                ClusterError::Config(format!(
+                    "sockets coordinator: worker {from} disconnected before reporting: {e}"
+                ))
+            })?;
+            match env {
+                Envelope::Data { src, dst, frame } => {
+                    let d = dst as usize;
+                    if d >= n {
+                        return Err(ClusterError::Config(format!(
+                            "sockets coordinator: worker {from} addressed nonexistent node {dst}"
+                        )));
+                    }
+                    fwd_to[d] += frame_data_records(&frame);
+                    tcp::write_data(&mut streams[d], src, dst, &frame).map_err(|e| werr(dst, e))?;
+                }
+                Envelope::Barrier { round } => {
+                    let c = barrier_pending.entry(round).or_insert(0);
+                    *c += 1;
+                    if *c as usize == n {
+                        barrier_pending.remove(&round);
+                        for (id, s) in streams.iter_mut().enumerate() {
+                            tcp::write_envelope(s, &Envelope::BarrierAck { round })
+                                .map_err(|e| werr(id as u16, e))?;
+                        }
+                    }
+                }
+                Envelope::Slot { round, slot } => {
+                    let e = slot_pending.entry(round).or_insert_with(|| (0, vec![[0u64; 5]; n]));
+                    e.1[from as usize] = slot;
+                    e.0 += 1;
+                    if e.0 as usize == n {
+                        let (_, slots) = slot_pending.remove(&round).expect("just inserted");
+                        for (id, s) in streams.iter_mut().enumerate() {
+                            tcp::write_envelope(s, &Envelope::Slots { round, slots: slots.clone() })
+                                .map_err(|e| werr(id as u16, e))?;
+                        }
+                    }
+                }
+                Envelope::State { qhead, drained, live, ops } => {
+                    states[from as usize] = Some((qhead, drained, live, ops));
+                    if !done_sent {
+                        if let Some(outcome) = decide_async(&states, &fwd_to, self.config.max_ops) {
+                            done_sent = true;
+                            for (id, s) in streams.iter_mut().enumerate() {
+                                tcp::write_envelope(s, &Envelope::Done { outcome: outcome as u8 })
+                                    .map_err(|e| werr(id as u16, e))?;
+                            }
+                        }
+                    }
+                }
+                Envelope::Flushed => {
+                    flushed += 1;
+                    if flushed == n {
+                        // All leftovers are relayed (each worker's frames
+                        // precede its Flushed); Shutdown lands behind them
+                        // on every stream.
+                        for (id, s) in streams.iter_mut().enumerate() {
+                            tcp::write_envelope(s, &Envelope::Shutdown).map_err(|e| werr(id as u16, e))?;
+                        }
+                    }
+                }
+                Envelope::Report { body } => {
+                    report_blobs[from as usize] = Some(body);
+                    reports_in += 1;
+                }
+                other => {
+                    return Err(ClusterError::Config(format!(
+                        "sockets coordinator: unexpected {other:?} from worker {from}"
+                    )))
+                }
+            }
+        }
+
+        // Reap spawned workers (they exit right after their Report).
+        let reap_deadline = Instant::now() + Duration::from_secs(10);
+        for (id, c) in children.iter_mut() {
+            loop {
+                match c.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < reap_deadline => thread::sleep(Duration::from_millis(5)),
+                    _ => {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                        eprintln!("jsplit sockets: worker {id} did not exit after reporting; killed");
+                        break;
+                    }
+                }
+            }
+        }
+        children.clear();
+
+        let reports: Vec<WorkerReport> = report_blobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                decode_worker_report(&b.expect("report counted"))
+                    .map_err(|e| ClusterError::Config(format!("sockets coordinator: bad report from worker {i}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(self.assemble(started, reports))
+    }
+
+    /// Fold the per-worker reports into the same [`RunReport`] shape the
+    /// sim and threads drivers produce (minus trace/profile/telemetry,
+    /// which the sockets backend rejects at construction).
+    fn assemble(self, started: Instant, mut reports: Vec<WorkerReport>) -> RunReport {
+        let mut errors: Vec<(ThreadUid, VmError)> = Vec::new();
+        let mut console = Vec::new();
+        for (i, r) in reports.iter_mut().enumerate() {
+            errors.append(&mut r.errors);
+            if i == CONSOLE_NODE as usize {
+                console = std::mem::take(&mut r.console);
+            }
+        }
+        let sync = SyncStats {
+            windows: match self.config.sync {
+                SyncMode::Epoch => reports[0].windows,
+                SyncMode::Async => reports.iter().map(|r| r.windows).sum(),
+            },
+            barrier_waits: reports.iter().map(|r| r.barrier_waits).sum(),
+            frames_sent: reports.iter().map(|r| r.frames.frames_sent).sum(),
+            frame_bytes: reports.iter().map(|r| r.frames.frame_bytes).sum(),
+            msgs_framed: reports.iter().map(|r| r.frames.msgs_framed).sum(),
+            nulls_sent: reports.iter().map(|r| r.frames.nulls_sent).sum(),
+            nulls_piggybacked: reports.iter().map(|r| r.frames.nulls_piggybacked).sum(),
+            horizon_advances: reports.iter().map(|r| r.horizon_advances).sum(),
+        };
+        RunReport {
+            exec_time_ps: reports.iter().map(|r| r.finish_time).max().unwrap_or(0),
+            output: console,
+            errors,
+            deadlocked: reports[0].deadlocked,
+            aborted: reports[0].aborted,
+            ops: reports.iter().map(|r| r.ops).sum(),
+            threads: reports.iter().map(|r| r.spawned_here).sum(),
+            net_per_node: reports.iter().map(|r| r.net.clone()).collect(),
+            dsm_per_node: reports.iter().filter_map(|r| r.dsm.clone()).collect(),
+            rewrite: self.prepared.rewrite,
+            setup_ps: reports.iter().map(|r| r.setup_ps).max().unwrap_or(0),
+            class_bytes: self.prepared.class_bytes as u64,
+            event_slab_high_water: reports.iter().map(|r| r.slab_high_water).max().unwrap_or(0),
+            ops_per_node: reports.iter().map(|r| r.ops).collect(),
+            trace: None,
+            breakdown: Vec::new(),
+            lock_stats: Vec::new(),
+            host_wall_secs: started.elapsed().as_secs_f64(),
+            sync,
+            wall: None,
+            telemetry: None,
+        }
+    }
+}
+
+/// The async-mode termination scan (DESIGN.md §16.3), evaluated on every
+/// `State` arrival: FINISH/DEADLOCK when every worker has reported, is
+/// idle (`qhead == MAX`) and has drained exactly what was relayed toward
+/// it; ABORT as soon as the cluster-wide retired-op count (over the states
+/// present so far) exceeds the budget. Re-evaluating only on `State`
+/// arrivals is sufficient: `fwd_to` changes only when data is relayed, and
+/// a worker that drains new data always re-reports (its `drained` tuple
+/// component changed).
+fn decide_async(states: &[Option<(u64, u64, u64, u64)>], fwd_to: &[u64], max_ops: u64) -> Option<u64> {
+    let ops: u64 = states.iter().flatten().map(|s| s.3).sum();
+    if ops > max_ops {
+        return Some(async_done::ABORT);
+    }
+    let mut live = 0u64;
+    for (w, st) in states.iter().enumerate() {
+        let &(qhead, drained, l, _) = st.as_ref()?;
+        if qhead != u64::MAX || drained != fwd_to[w] {
+            return None;
+        }
+        live += l;
+    }
+    Some(if live == 0 { async_done::FINISH } else { async_done::DEADLOCK })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_config_round_trips() {
+        let mut cfg = ClusterConfig::javasplit(JvmProfile::SunSim, 4);
+        cfg.nodes[2] = NodeSpec { profile: JvmProfile::IbmSim };
+        cfg.protocol = ProtocolMode::ClassicHlrc;
+        cfg.balancer = Balancer::RoundRobin;
+        cfg.fuel = 123;
+        cfg.max_ops = 9_999;
+        cfg.disable_local_locks = true;
+        cfg.array_chunk = Some(64);
+        cfg.lookahead = Lookahead::Global;
+        cfg.sync = SyncMode::Async;
+        cfg.wire_batch = false;
+        let got = decode_wire_config(&encode_wire_config(&cfg)).unwrap();
+        assert_eq!(got.mode, cfg.mode);
+        assert_eq!(got.nodes, cfg.nodes);
+        assert_eq!(got.cpus_per_node, cfg.cpus_per_node);
+        assert_eq!(got.protocol, cfg.protocol);
+        assert_eq!(got.balancer, cfg.balancer);
+        assert_eq!(got.fuel, cfg.fuel);
+        assert_eq!(got.max_ops, cfg.max_ops);
+        assert_eq!(got.disable_local_locks, cfg.disable_local_locks);
+        assert_eq!(got.array_chunk, cfg.array_chunk);
+        assert_eq!(got.lookahead, cfg.lookahead);
+        assert_eq!(got.sync, cfg.sync);
+        assert_eq!(got.wire_batch, cfg.wire_batch);
+        assert_eq!(got.backend, Backend::Sockets);
+        assert!(got.trace.is_none() && !got.profile && got.metrics.is_none());
+    }
+
+    #[test]
+    fn worker_report_round_trips() {
+        let mut net = NetStats { msgs_sent: 7, bytes_recv: 1234, ..NetStats::default() };
+        net.sent_by_kind[3] = 42;
+        net.recv_bytes_by_kind[7] = 99;
+        let dsm = DsmStats {
+            promotions: 1,
+            fetches: 2,
+            notices_stored_max: 37,
+            notice_mem_max: 512,
+            ..DsmStats::default()
+        };
+        let rep = WorkerReport {
+            console: vec!["hello".into(), "world".into()],
+            errors: vec![
+                (3, VmError::NullDeref { method: "Foo.bar".into(), pc: 17 }),
+                (9, VmError::IndexOutOfBounds { len: 4, idx: -1 }),
+                (1, VmError::IllegalMonitorState { op: "notify" }),
+                (2, VmError::VolatileStackEmpty),
+            ],
+            deadlocked: true,
+            aborted: false,
+            ops: 1_000_000,
+            spawned_here: 12,
+            finish_time: 987_654_321,
+            slab_high_water: 64,
+            windows: 17,
+            barrier_waits: 5,
+            horizon_advances: 31,
+            setup_ps: 555,
+            net,
+            dsm: Some(dsm),
+            frames: FrameStats {
+                frames_sent: 10,
+                frame_bytes: 2000,
+                msgs_framed: 30,
+                nulls_sent: 4,
+                nulls_piggybacked: 2,
+            },
+        };
+        let got = decode_worker_report(&encode_worker_report(&rep)).unwrap();
+        assert_eq!(got, rep);
+        // The dsm-less (baseline) shape too.
+        let rep2 = WorkerReport { dsm: None, console: Vec::new(), errors: Vec::new(), ..rep };
+        let got2 = decode_worker_report(&encode_worker_report(&rep2)).unwrap();
+        assert_eq!(got2, rep2);
+    }
+
+    #[test]
+    fn async_decision_requires_full_quiescence() {
+        let m = u64::MAX;
+        // Missing state: no decision.
+        assert_eq!(decide_async(&[Some((m, 0, 0, 1)), None], &[0, 0], u64::MAX), None);
+        // Busy worker: no decision.
+        assert_eq!(
+            decide_async(&[Some((5, 0, 0, 1)), Some((m, 0, 0, 1))], &[0, 0], u64::MAX),
+            None
+        );
+        // Undrained relay: no decision.
+        assert_eq!(
+            decide_async(&[Some((m, 2, 0, 1)), Some((m, 0, 0, 1))], &[3, 0], u64::MAX),
+            None
+        );
+        // All idle and drained, no live threads: finish.
+        assert_eq!(
+            decide_async(&[Some((m, 2, 0, 1)), Some((m, 1, 0, 1))], &[2, 1], u64::MAX),
+            Some(async_done::FINISH)
+        );
+        // Same but a live (blocked) thread somewhere: deadlock.
+        assert_eq!(
+            decide_async(&[Some((m, 2, 1, 1)), Some((m, 1, 0, 1))], &[2, 1], u64::MAX),
+            Some(async_done::DEADLOCK)
+        );
+        // Op budget blown: abort, even with states missing.
+        assert_eq!(decide_async(&[Some((5, 0, 0, 100)), None], &[0, 0], 99), Some(async_done::ABORT));
+    }
+}
