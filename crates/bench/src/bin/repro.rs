@@ -23,6 +23,10 @@
 //! `repro trace <app> [--smoke]` runs one app (tsp/series/raytracer) with
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
 //! the repo root and self-checks the trace invariants.
+//!
+//! `repro opstats <app> [--smoke]` runs one app under both protocols with
+//! retired-opcode counting and prints the hot opcode / hot pair tables
+//! that motivate the predecoder's superinstruction selection.
 
 use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
@@ -93,7 +97,10 @@ fn main() {
                 }
             },
         };
-        let pts = perf::run(smoke, backend, lookahead, wire_batch, &syncs);
+        // `--classic` pins the pre-predecode enum-decode interpreter for
+        // same-host A/B throughput comparison; rows carry `"predecode"`.
+        let classic = args.iter().any(|a| a == "--classic");
+        let pts = perf::run(smoke, backend, lookahead, wire_batch, classic, &syncs);
         print!("{}", perf::render(&pts));
         let speedup = perf::live_speedup(&pts);
         if let Some(sp) = &speedup {
@@ -126,6 +133,38 @@ fn main() {
                 eprintln!("repro trace: {e}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+
+    if section == "opstats" {
+        // Dynamic opcode/pair frequency profiler: runs one app under the
+        // classic interpreter with retire-counting on and prints the hot
+        // opcode and hot consecutive-pair tables — the measurement behind
+        // the superinstruction selection in jsplit-mjvm's pcode module.
+        // Deterministic (sim backend, counts merged across nodes), so the
+        // tables can be committed to EXPERIMENTS.md verbatim.
+        let app = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .map(String::as_str)
+            .unwrap_or("tsp");
+        let Some((_, program)) = perf::workloads(smoke).into_iter().find(|(a, _)| *a == app)
+        else {
+            eprintln!("repro opstats: unknown app {app:?} (want tsp|series|raytracer)");
+            std::process::exit(2);
+        };
+        for (label, cfg) in [
+            ("baseline (central-server)", ClusterConfig::baseline(JvmProfile::SunSim, 8)),
+            ("javasplit (home-migration)", ClusterConfig::javasplit(JvmProfile::SunSim, 8)),
+        ] {
+            let r = run_cluster(cfg.with_opstats(true), &program).expect("opstats cluster");
+            let stats = r.opstats.expect("sim run with opstats enabled carries counters");
+            println!("### {app} — {label}, {} retired ops", stats.total());
+            println!();
+            print!("{}", stats.render(12));
+            println!();
         }
         return;
     }

@@ -39,6 +39,10 @@ pub struct PerfPoint {
     /// barriers or asynchronous per-pair promises); `Epoch` for sim runs,
     /// where the knob has no effect.
     pub sync_mode: SyncMode,
+    /// Whether the run used the predecoded direct-threaded executor (the
+    /// default since the decode-once interpreter landed; `false` would mean
+    /// the classic enum-decode path, kept for A/B measurement).
+    pub predecode: bool,
     /// Host wall-clock for the whole `run_cluster` call (setup + run).
     pub wall_secs: f64,
     /// Interpreted instructions retired across all nodes.
@@ -85,7 +89,10 @@ impl PerfPoint {
 
 const NODES: usize = 8;
 
-fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
+/// The three fixed-seed workloads at smoke (CI) or bench scale. Shared
+/// with `repro opstats`, so the opcode-frequency tables describe exactly
+/// the programs the throughput harness measures.
+pub fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
     use jsplit_apps::{raytracer, series, tsp};
     if smoke {
         // Test-scale inputs: a few seconds total, for CI.
@@ -109,7 +116,14 @@ fn workloads(smoke: bool) -> Vec<(&'static str, Program)> {
 /// on the threads backend; sim callers pass a single mode). Threads runs
 /// also measure each workload on a 1-node cluster for the per-app live
 /// speedup.
-pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool, syncs: &[SyncMode]) -> Vec<PerfPoint> {
+pub fn run(
+    smoke: bool,
+    backend: Backend,
+    lookahead: Lookahead,
+    wire_batch: bool,
+    classic: bool,
+    syncs: &[SyncMode],
+) -> Vec<PerfPoint> {
     let mut out = Vec::new();
     // Both live backends (one OS thread per node / one OS process per
     // node) measure the 1-node denominator for the per-app speedup; only
@@ -124,12 +138,14 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
                 .with_lookahead(lookahead)
                 .with_sync(sync_mode)
                 .with_wire_batch(wire_batch)
+                .with_classic_interp(classic)
                 .with_profile(backend == Backend::Threads);
             if backend == Backend::Threads {
                 // Sample the registry but write no JSONL: the summary
                 // (peak/mean rates, lag percentiles) lands in the LIVE rows.
                 cfg = cfg.with_metrics(MetricsConfig::default());
             }
+            let cfg_classic = cfg.classic_interp;
             let t0 = Instant::now();
             let mut r = run_clean(cfg, &p);
             let wall = t0.elapsed().as_secs_f64();
@@ -146,6 +162,7 @@ pub fn run(smoke: bool, backend: Backend, lookahead: Lookahead, wire_batch: bool
             out.push(PerfPoint {
                 app,
                 sync_mode,
+                predecode: !cfg_classic,
                 wall_secs: wall,
                 ops: r.ops,
                 ops_per_sec: r.ops as f64 / wall.max(1e-9),
@@ -266,13 +283,14 @@ pub fn to_json(
             _ => String::new(),
         };
         s.push_str(&format!(
-            "    {{\"app\": \"{}\", \"sync\": \"{}\", \"wall_secs\": {:.3}, \"ops\": {}, \"ops_per_sec\": {:.0}, \
+            "    {{\"app\": \"{}\", \"sync\": \"{}\", \"predecode\": {}, \"wall_secs\": {:.3}, \"ops\": {}, \"ops_per_sec\": {:.0}, \
              \"virtual_secs\": {:.6}, \"msgs_sent\": {}, \"event_slab_high_water\": {}{}, \
              \"windows\": {}, \"barrier_waits\": {}, \"frames_sent\": {}, \"msgs_framed\": {}, \
              \"msgs_batched\": {}, \"bytes_per_frame_avg\": {:.1}, \"horizon_advances\": {}, \
              \"nulls_sent\": {}, \"nulls_piggybacked\": {}{}{}}}{}\n",
             p.app,
             sync_name(p.sync_mode),
+            p.predecode,
             p.wall_secs,
             p.ops,
             p.ops_per_sec,
@@ -388,6 +406,7 @@ mod tests {
             PerfPoint {
                 app: "tsp",
                 sync_mode: SyncMode::Epoch,
+                predecode: true,
                 wall_secs: 1.5,
                 ops: 1000,
                 ops_per_sec: 666.7,
@@ -409,6 +428,7 @@ mod tests {
             PerfPoint {
                 app: "tsp",
                 sync_mode: SyncMode::Async,
+                predecode: true,
                 wall_secs: 1.2,
                 ops: 1000,
                 ops_per_sec: 833.3,
@@ -477,6 +497,7 @@ mod tests {
         let pts = vec![PerfPoint {
             app: "series",
             sync_mode: SyncMode::Epoch,
+            predecode: true,
             wall_secs: 1.0,
             ops: 10,
             ops_per_sec: 10.0,
@@ -514,6 +535,7 @@ mod tests {
         let pts = vec![PerfPoint {
             app: "tsp",
             sync_mode: SyncMode::Epoch,
+            predecode: true,
             wall_secs: 1.0,
             ops: 100,
             ops_per_sec: 100.0,

@@ -525,6 +525,11 @@ impl DsmNode {
     /// Read check: fetch from home on an invalid copy. `idx` (the element
     /// index of an array access) selects the region under the §4.3 chunked
     /// extension.
+    ///
+    /// `#[inline]`: called once per rewritten heap read from the
+    /// interpreter dispatch loop in another crate; the `Local`/`Valid` hit
+    /// path must inline there.
+    #[inline]
     pub fn check_read(&mut self, heap: &mut Heap, thread: ThreadUid, obj: ObjRef, idx: Option<i32>) -> AccessOutcome {
         let hdr = &heap.get(obj).dsm;
         match hdr.state {
@@ -566,6 +571,10 @@ impl DsmNode {
 
     /// Write check: additionally twin the object on the first write of the
     /// interval (multiple-writer support).
+    ///
+    /// `#[inline]`: see [`Node::check_read`] — the `Local` hit path must
+    /// inline into the interpreter's dispatch loop.
+    #[inline]
     pub fn check_write(&mut self, heap: &mut Heap, thread: ThreadUid, obj: ObjRef, idx: Option<i32>) -> AccessOutcome {
         let (state, gid, twinned) = {
             let hdr = &heap.get(obj).dsm;

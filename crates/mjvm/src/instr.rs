@@ -324,6 +324,94 @@ impl Instr {
         }
     }
 
+    /// Stable short mnemonic, used as the key of the dynamic opcode/pair
+    /// frequency profiler (`repro opstats`). One name per variant; operand
+    /// values are deliberately dropped so frequencies aggregate.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Const(_) => "const",
+            Instr::LdcStr(_) => "ldc_str",
+            Instr::Dup => "dup",
+            Instr::DupX1 => "dup_x1",
+            Instr::Pop => "pop",
+            Instr::Swap => "swap",
+            Instr::Load(_) => "load",
+            Instr::Store(_) => "store",
+            Instr::IInc(..) => "iinc",
+            Instr::IAdd => "iadd",
+            Instr::ISub => "isub",
+            Instr::IMul => "imul",
+            Instr::IDiv => "idiv",
+            Instr::IRem => "irem",
+            Instr::INeg => "ineg",
+            Instr::IShl => "ishl",
+            Instr::IShr => "ishr",
+            Instr::IUShr => "iushr",
+            Instr::IAnd => "iand",
+            Instr::IOr => "ior",
+            Instr::IXor => "ixor",
+            Instr::LAdd => "ladd",
+            Instr::LSub => "lsub",
+            Instr::LMul => "lmul",
+            Instr::LDiv => "ldiv",
+            Instr::LRem => "lrem",
+            Instr::LNeg => "lneg",
+            Instr::DAdd => "dadd",
+            Instr::DSub => "dsub",
+            Instr::DMul => "dmul",
+            Instr::DDiv => "ddiv",
+            Instr::DRem => "drem",
+            Instr::DNeg => "dneg",
+            Instr::I2L => "i2l",
+            Instr::I2D => "i2d",
+            Instr::L2I => "l2i",
+            Instr::L2D => "l2d",
+            Instr::D2I => "d2i",
+            Instr::D2L => "d2l",
+            Instr::LCmp => "lcmp",
+            Instr::DCmp => "dcmp",
+            Instr::Goto(_) => "goto",
+            Instr::IfICmp(..) => "if_icmp",
+            Instr::IfI(..) => "if",
+            Instr::IfNull(_) => "ifnull",
+            Instr::IfNonNull(_) => "ifnonnull",
+            Instr::IfACmpEq(_) => "if_acmpeq",
+            Instr::IfACmpNe(_) => "if_acmpne",
+            Instr::New(_) => "new",
+            Instr::GetField(..) => "getfield",
+            Instr::PutField(..) => "putfield",
+            Instr::GetStatic(..) => "getstatic",
+            Instr::PutStatic(..) => "putstatic",
+            Instr::InvokeStatic(..) => "invokestatic",
+            Instr::InvokeVirtual(_) => "invokevirtual",
+            Instr::InvokeSpecial(..) => "invokespecial",
+            Instr::NewArray(_) => "newarray",
+            Instr::ALoad(_) => "aload",
+            Instr::AStore(_) => "astore",
+            Instr::ArrayLen => "arraylength",
+            Instr::Return => "return",
+            Instr::ReturnVal => "returnval",
+            Instr::MonitorEnter => "monitorenter",
+            Instr::MonitorExit => "monitorexit",
+            Instr::Nop => "nop",
+            Instr::DsmCheckRead { .. } => "dsm_check_read",
+            Instr::DsmCheckWrite { .. } => "dsm_check_write",
+            Instr::DsmMonitorEnter => "dsm_monitorenter",
+            Instr::DsmMonitorExit => "dsm_monitorexit",
+            Instr::DsmSpawn => "dsm_spawn",
+            Instr::DsmVolatileAcquire { .. } => "dsm_vol_acquire",
+            Instr::DsmVolatileRelease => "dsm_vol_release",
+            Instr::GetFieldQ { .. } => "getfield_q",
+            Instr::PutFieldQ { .. } => "putfield_q",
+            Instr::GetStaticQ { .. } => "getstatic_q",
+            Instr::PutStaticQ { .. } => "putstatic_q",
+            Instr::NewQ(_) => "new_q",
+            Instr::InvokeStaticQ(_) => "invokestatic_q",
+            Instr::InvokeSpecialQ(_) => "invokespecial_q",
+            Instr::InvokeVirtualQ { .. } => "invokevirtual_q",
+        }
+    }
+
     /// `true` if this is one of the DSM pseudo-instructions injected by the
     /// rewriter (they must never appear in original application bytecode).
     pub fn is_dsm(&self) -> bool {

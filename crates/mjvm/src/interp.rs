@@ -118,7 +118,7 @@ impl Thread {
 }
 
 #[inline]
-fn access_key(kind: AccessKind, obj: u32, slot: u32) -> u64 {
+pub(crate) fn access_key(kind: AccessKind, obj: u32, slot: u32) -> u64 {
     let k = match kind {
         AccessKind::Field => 0u64,
         AccessKind::Static => 1,
@@ -257,6 +257,28 @@ macro_rules! pop {
 
 /// Run `thread` for up to `fuel` instructions.
 pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) -> Result<StepOutcome, VmError> {
+    step_inner(thread, ctx, fuel, None)
+}
+
+/// [`step`], additionally counting every retired opcode (and consecutive
+/// pair) into `stats` — the `repro opstats` profiler. The pair chain
+/// resets at each quantum so the table is independent of scheduling.
+pub fn step_with_stats<E: VmEnv>(
+    thread: &mut Thread,
+    ctx: &mut StepCtx<'_, E>,
+    fuel: u32,
+    stats: &mut crate::opstats::OpStats,
+) -> Result<StepOutcome, VmError> {
+    stats.reset_chain();
+    step_inner(thread, ctx, fuel, Some(stats))
+}
+
+fn step_inner<E: VmEnv>(
+    thread: &mut Thread,
+    ctx: &mut StepCtx<'_, E>,
+    fuel: u32,
+    mut stats: Option<&mut crate::opstats::OpStats>,
+) -> Result<StepOutcome, VmError> {
     let mut cost: u64 = 0;
     let mut ops: u64 = 0;
     let model = ctx.cost;
@@ -301,6 +323,9 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
 
         ops += 1;
         cost += model.static_cost(ins);
+        if let Some(stats) = stats.as_deref_mut() {
+            stats.retire(ins.mnemonic());
+        }
 
         // The inline access cache is copied out of the thread before `frame`
         // mutably borrows it, and written back after the dispatch — arms that
@@ -843,20 +868,20 @@ pub fn step<E: VmEnv>(thread: &mut Thread, ctx: &mut StepCtx<'_, E>, fuel: u32) 
 /// Update the per-thread inline access cache and report whether the access
 /// repeats the previous one (the IBM profile's cheap path).
 #[inline]
-fn cache_hit(last: &mut u64, key: u64) -> bool {
+pub(crate) fn cache_hit(last: &mut u64, key: u64) -> bool {
     let hit = *last == key;
     *last = key;
     hit
 }
 
-enum NativeFlow {
+pub(crate) enum NativeFlow {
     Continue,
     Block,
     EndQuantum,
 }
 
 /// Execute a native method. Args include the receiver for instance natives.
-fn run_native<E: VmEnv>(
+pub(crate) fn run_native<E: VmEnv>(
     op: NativeOp,
     args: Vec<Value>,
     thread: &mut Thread,
@@ -980,7 +1005,7 @@ fn run_native<E: VmEnv>(
 
 /// Pop the top frame: run the synchronized-method exit protocol, propagate
 /// the return value, and report whether the thread is finished.
-fn pop_frame<E: VmEnv>(
+pub(crate) fn pop_frame<E: VmEnv>(
     thread: &mut Thread,
     ctx: &mut StepCtx<'_, E>,
     ret: Option<Value>,
@@ -1007,7 +1032,7 @@ fn pop_frame<E: VmEnv>(
     }
 }
 
-fn array_load(heap: &Heap, r: ObjRef, idx: i32, elem: ElemTy) -> Result<Value, VmError> {
+pub(crate) fn array_load(heap: &Heap, r: ObjRef, idx: i32, elem: ElemTy) -> Result<Value, VmError> {
     let obj = heap.get(r);
     let len = obj.payload.array_len().ok_or_else(|| VmError::TypeMismatch("aload on non-array".into()))?;
     if idx < 0 || idx as usize >= len {
@@ -1023,7 +1048,7 @@ fn array_load(heap: &Heap, r: ObjRef, idx: i32, elem: ElemTy) -> Result<Value, V
     })
 }
 
-fn array_store(heap: &mut Heap, r: ObjRef, idx: i32, v: Value, elem: ElemTy) -> Result<(), VmError> {
+pub(crate) fn array_store(heap: &mut Heap, r: ObjRef, idx: i32, v: Value, elem: ElemTy) -> Result<(), VmError> {
     let obj = heap.get_mut(r);
     let len = obj.payload.array_len().ok_or_else(|| VmError::TypeMismatch("astore on non-array".into()))?;
     if idx < 0 || idx as usize >= len {

@@ -37,6 +37,8 @@ pub mod interp;
 pub mod intrinsics;
 pub mod loader;
 pub mod localvm;
+pub mod opstats;
+pub mod pcode;
 pub mod stdlib;
 pub mod value;
 pub mod verifier;

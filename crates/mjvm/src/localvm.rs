@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::heap::{Heap, ObjRef, ThreadUid};
 use crate::interp::{self, Frame, MonOutcome, StepCtx, StepState, Thread, VmEnv, VmError};
 use crate::loader::{Image, LoadError, MethodId};
+use crate::pcode::{self, PImage};
 use crate::value::Value;
 use crate::verifier::{self, VerifyOptions};
 use std::collections::VecDeque;
@@ -213,6 +214,8 @@ impl VmEnv for BaselineEnv {
 /// The baseline VM.
 pub struct LocalVm {
     image: Arc<Image>,
+    /// Predecoded bodies (direct-threaded fast path), built at load time.
+    pimage: Arc<PImage>,
     heap: Heap,
     env: BaselineEnv,
     threads: Vec<Option<Thread>>,
@@ -222,6 +225,9 @@ pub struct LocalVm {
     ops: u64,
     /// Hard cap on retired instructions (runaway-program guard in tests).
     pub max_ops: u64,
+    /// Use the classic enum-dispatch interpreter instead of the predecoded
+    /// executor (the differential suites run both and compare).
+    pub classic_interp: bool,
 }
 
 impl LocalVm {
@@ -248,6 +254,7 @@ impl LocalVm {
         _opts: VerifyOptions,
     ) -> Result<LocalVm, LoadError> {
         let image = Arc::new(Image::load(program)?);
+        let pimage = Arc::new(pcode::predecode(&image, model));
         let mut heap = Heap::new();
         heap.init_statics(&image);
         let thread_class = image.class_id_any(crate::stdlib::THREAD).expect("stdlib Thread");
@@ -261,6 +268,7 @@ impl LocalVm {
         let main_locals = image.method(main).max_locals;
         let mut vm = LocalVm {
             image,
+            pimage,
             heap,
             env: BaselineEnv::new(model, thread_class),
             threads: Vec::new(),
@@ -269,6 +277,7 @@ impl LocalVm {
             errors: Vec::new(),
             ops: 0,
             max_ops: u64::MAX,
+            classic_interp: false,
         };
         let root = Frame::new(main, main_locals, vec![], false);
         vm.add_thread(root);
@@ -317,6 +326,7 @@ impl LocalVm {
             };
 
             let image = self.image.clone();
+            let pimage = self.pimage.clone();
             let model = self.env.model;
             let outcome = {
                 let mut ctx = StepCtx {
@@ -325,7 +335,11 @@ impl LocalVm {
                     env: &mut self.env,
                     cost: model,
                 };
-                interp::step(&mut thread, &mut ctx, QUANTUM)
+                if self.classic_interp {
+                    interp::step(&mut thread, &mut ctx, QUANTUM)
+                } else {
+                    pcode::step(&mut thread, &mut ctx, &pimage, QUANTUM)
+                }
             };
 
             match outcome {

@@ -57,7 +57,7 @@ pub fn verify_program(p: &Program, opts: VerifyOptions) -> Result<(), Vec<Verify
 
 /// Stack effect: (pops, pushes), or None if it depends on the instruction's
 /// signature (handled inline).
-fn stack_effect(ins: &Instr) -> (usize, usize) {
+pub(crate) fn stack_effect(ins: &Instr) -> (usize, usize) {
     use Instr::*;
     match ins {
         Const(_) | LdcStr(_) | Load(_) => (0, 1),

@@ -194,6 +194,16 @@ pub struct ClusterConfig {
     pub metrics: Option<MetricsConfig>,
     /// Sockets-backend deployment knobs (ignored by the other backends).
     pub sockets: SocketsConfig,
+    /// Run the classic enum-dispatch interpreter instead of the predecoded
+    /// direct-threaded executor. Results are bit-identical either way (the
+    /// differential suites assert it); the classic path exists as the
+    /// semantic reference and for A/B measurement.
+    pub classic_interp: bool,
+    /// Count retired opcodes and consecutive pairs per node (the `repro
+    /// opstats` profiler). Forces the classic interpreter (the counter
+    /// hooks live there) and costs a hash-map update per instruction, so
+    /// off by default.
+    pub opstats: bool,
 }
 
 impl ClusterConfig {
@@ -218,6 +228,8 @@ impl ClusterConfig {
             wire_batch: true,
             metrics: None,
             sockets: SocketsConfig::default(),
+            classic_interp: false,
+            opstats: false,
         }
     }
 
@@ -242,6 +254,8 @@ impl ClusterConfig {
             wire_batch: true,
             metrics: None,
             sockets: SocketsConfig::default(),
+            classic_interp: false,
+            opstats: false,
         }
     }
 
@@ -266,6 +280,8 @@ impl ClusterConfig {
             wire_batch: true,
             metrics: None,
             sockets: SocketsConfig::default(),
+            classic_interp: false,
+            opstats: false,
         }
     }
 
@@ -346,6 +362,18 @@ impl ClusterConfig {
     /// Configure the sockets backend's deployment knobs.
     pub fn with_sockets(mut self, sockets: SocketsConfig) -> Self {
         self.sockets = sockets;
+        self
+    }
+
+    /// Run on the classic enum-dispatch interpreter (A/B reference path).
+    pub fn with_classic_interp(mut self, on: bool) -> Self {
+        self.classic_interp = on;
+        self
+    }
+
+    /// Enable the per-node opcode/pair frequency profiler.
+    pub fn with_opstats(mut self, on: bool) -> Self {
+        self.opstats = on;
         self
     }
 }

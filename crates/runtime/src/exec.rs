@@ -456,6 +456,15 @@ impl Cluster {
             }
             None => (Vec::new(), Vec::new()),
         };
+        let opstats = {
+            let mut merged: Option<jsplit_mjvm::opstats::OpStats> = None;
+            for n in self.nodes.iter_mut() {
+                if let Some(st) = n.take_opstats() {
+                    merged.get_or_insert_with(Default::default).merge(&st);
+                }
+            }
+            merged
+        };
         RunReport {
             exec_time_ps: finish,
             output: self.console,
@@ -478,6 +487,7 @@ impl Cluster {
             sync: crate::report::SyncStats::default(),
             wall: None,
             telemetry,
+            opstats,
         }
     }
 }

@@ -22,6 +22,8 @@ use jsplit_mjvm::cost::CostModel;
 use jsplit_mjvm::heap::{Heap, ObjRef, ThreadUid};
 use jsplit_mjvm::interp::{self, Frame, StepCtx, StepState, Thread, VmError};
 use jsplit_mjvm::loader::{ClassId, Image};
+use jsplit_mjvm::opstats::OpStats;
+use jsplit_mjvm::pcode::{self, PImage};
 use jsplit_net::NodeId;
 use jsplit_trace::TraceEvent;
 use std::collections::VecDeque;
@@ -104,6 +106,11 @@ pub struct NodeRuntime {
     pub spawned_here: u32,
     fuel: u32,
     tracing: bool,
+    /// Predecoded bodies for this node's cost model (`None` = classic
+    /// enum-dispatch interpreter, the A/B reference path).
+    pimage: Option<Arc<PImage>>,
+    /// Opcode/pair frequency counters (`repro opstats`); forces classic.
+    opstats: Option<Box<OpStats>>,
 }
 
 impl NodeRuntime {
@@ -134,6 +141,12 @@ impl NodeRuntime {
                 e.dsm.trace = Some(Vec::new());
             }
         }
+        // The micro-op image bakes in this node's cost model, so it is
+        // per-node even though the loaded image is shared. Profiling runs
+        // stay on the classic interpreter, where the counter hooks live.
+        let opstats = config.opstats.then(|| Box::new(OpStats::default()));
+        let pimage = (!config.classic_interp && opstats.is_none())
+            .then(|| Arc::new(pcode::predecode(&image, model)));
         NodeRuntime {
             id,
             model,
@@ -153,7 +166,14 @@ impl NodeRuntime {
             spawned_here: 0,
             fuel: config.fuel,
             tracing,
+            pimage,
+            opstats,
         }
+    }
+
+    /// Take this node's opcode/pair counters (profiling runs only).
+    pub fn take_opstats(&mut self) -> Option<OpStats> {
+        self.opstats.take().map(|b| *b)
     }
 
     /// Live threads on this node.
@@ -385,7 +405,13 @@ impl NodeRuntime {
             let model = self.model;
             let step = {
                 let mut ctx = StepCtx { image: &self.image, heap: &mut self.heap, env: &mut self.env, cost: model };
-                interp::step(th, &mut ctx, fuel)
+                if let Some(pim) = &self.pimage {
+                    pcode::step(th, &mut ctx, pim, fuel)
+                } else if let Some(stats) = self.opstats.as_deref_mut() {
+                    interp::step_with_stats(th, &mut ctx, fuel, stats)
+                } else {
+                    interp::step(th, &mut ctx, fuel)
+                }
             };
             match step {
                 Ok(o) => {

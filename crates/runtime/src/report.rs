@@ -117,6 +117,11 @@ pub struct RunReport {
     ///
     /// [`ClusterConfig::with_metrics`]: crate::config::ClusterConfig::with_metrics
     pub telemetry: Option<TelemetrySummary>,
+    /// Merged opcode/pair frequency counters (`None` unless the run was
+    /// configured with [`ClusterConfig::with_opstats`]; sim backend only).
+    ///
+    /// [`ClusterConfig::with_opstats`]: crate::config::ClusterConfig::with_opstats
+    pub opstats: Option<jsplit_mjvm::opstats::OpStats>,
 }
 
 impl RunReport {

@@ -128,6 +128,7 @@ fn encode_wire_config(cfg: &ClusterConfig) -> Vec<u8> {
         SyncMode::Async => 1,
     });
     w.u8(cfg.wire_batch as u8);
+    w.u8(cfg.classic_interp as u8);
     w.into_inner()
 }
 
@@ -179,6 +180,7 @@ fn decode_wire_config(bytes: &[u8]) -> Result<ClusterConfig, CodecError> {
         _ => return Err(CodecError("bad sync byte")),
     };
     let wire_batch = r.u8()? != 0;
+    let classic_interp = r.u8()? != 0;
     Ok(ClusterConfig {
         mode,
         nodes,
@@ -198,6 +200,10 @@ fn decode_wire_config(bytes: &[u8]) -> Result<ClusterConfig, CodecError> {
         wire_batch,
         metrics: None,
         sockets: SocketsConfig::default(),
+        classic_interp,
+        // Per-node profiling counters have no berth in the worker report;
+        // opstats runs use the sim backend.
+        opstats: false,
     })
 }
 
@@ -1178,6 +1184,7 @@ impl SocketsDriver {
             sync,
             wall: None,
             telemetry: None,
+            opstats: None,
         }
     }
 }

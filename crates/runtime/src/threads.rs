@@ -424,6 +424,7 @@ impl ThreadsDriver {
             sync,
             wall,
             telemetry: telemetry_summary,
+            opstats: None,
         }
     }
 }
