@@ -24,11 +24,17 @@
 //! full tracing, writes `TRACE_<app>.json` (Chrome trace-event format) at
 //! the repo root and self-checks the trace invariants.
 //!
+//! `repro heat <app> [--smoke]` runs one app (tsp/series/raytracer) with
+//! the per-object DSM sharing profiler, prints the heat table / sharing
+//! classes / home-migration candidates, writes `HEAT_<app>.json` at the
+//! repo root and self-checks the reconciliation invariant against the
+//! aggregate `DsmStats` totals.
+//!
 //! `repro opstats <app> [--smoke]` runs one app under both protocols with
 //! retired-opcode counting and prints the hot opcode / hot pair tables
 //! that motivate the predecoder's superinstruction selection.
 
-use jsplit_bench::{ablation, measure, perf, table1, table2, table3, table4, tracecmd};
+use jsplit_bench::{ablation, heat, measure, perf, table1, table2, table3, table4, tracecmd};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_runtime::exec::run_cluster;
 use jsplit_runtime::{Backend, ClusterConfig, Lookahead, NodeSpec, SyncMode};
@@ -131,6 +137,26 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("repro trace: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if section == "heat" {
+        // Per-object DSM sharing profiler: deterministic (sim backend, and
+        // the objprof report is backend-invariant anyway), but its output is
+        // a file at the repo root, so — like trace — not part of `all`.
+        let app = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .map(String::as_str)
+            .unwrap_or("tsp");
+        match heat::run(app, smoke) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("repro heat: {e}");
                 std::process::exit(1);
             }
         }

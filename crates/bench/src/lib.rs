@@ -17,6 +17,7 @@
 //! the criterion benches under `benches/` time the same workloads.
 
 pub mod ablation;
+pub mod heat;
 pub mod measure;
 pub mod perf;
 pub mod table1;

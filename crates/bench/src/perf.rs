@@ -62,8 +62,10 @@ pub struct PerfPoint {
     pub sync: SyncStats,
     /// Wall-clock span profile of the measured run (threads backend only).
     pub wall: Option<WallProfile>,
-    /// Live-telemetry summary of the measured run (threads backend only):
-    /// peak/mean rates and horizon-lag percentiles.
+    /// Live-telemetry summary of the measured run (threads and sockets
+    /// backends): peak/mean rates and horizon-lag percentiles. For sockets
+    /// the series is the coordinator's merge of worker-shipped metrics
+    /// envelopes.
     pub telemetry: Option<TelemetrySummary>,
 }
 
@@ -126,10 +128,10 @@ pub fn run(
 ) -> Vec<PerfPoint> {
     let mut out = Vec::new();
     // Both live backends (one OS thread per node / one OS process per
-    // node) measure the 1-node denominator for the per-app speedup; only
-    // the threads backend carries the in-process span profiler and
-    // telemetry registry (the sockets driver rejects them — its numbers
-    // come from the per-worker reports alone).
+    // node) measure the 1-node denominator for the per-app speedup and
+    // carry the telemetry registry (in-process for threads; worker-shipped
+    // metrics envelopes merged at the coordinator for sockets); only the
+    // threads backend carries the in-process span profiler.
     let live = matches!(backend, Backend::Threads | Backend::Sockets);
     for &sync_mode in syncs {
         for (app, p) in workloads(smoke) {
@@ -140,7 +142,7 @@ pub fn run(
                 .with_wire_batch(wire_batch)
                 .with_classic_interp(classic)
                 .with_profile(backend == Backend::Threads);
-            if backend == Backend::Threads {
+            if live {
                 // Sample the registry but write no JSONL: the summary
                 // (peak/mean rates, lag percentiles) lands in the LIVE rows.
                 cfg = cfg.with_metrics(MetricsConfig::default());

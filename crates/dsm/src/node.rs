@@ -15,7 +15,7 @@ use jsplit_mjvm::instr::ElemTy;
 use jsplit_mjvm::loader::{ClassId, Image};
 use jsplit_mjvm::value::Value;
 use jsplit_net::NodeId;
-use jsplit_trace::TraceEvent;
+use jsplit_trace::{ObjEvent, ObjProfile, TraceEvent};
 use std::collections::{HashMap, HashSet};
 
 /// Scalar vs vector timestamps + bounded vs full notice history: the two
@@ -160,6 +160,11 @@ pub struct DsmNode {
     /// with virtual time at its drain points (the engine is clock-free).
     /// `None` keeps every hook to a single branch.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Per-object sharing profile (PR 10). Bumped at the same code sites as
+    /// the corresponding `DsmStats` counters so per-object sums reconcile
+    /// exactly with the aggregates; `None` keeps every hook to one branch
+    /// and the run bit-identical to an unprofiled one.
+    pub objprof: Option<Box<ObjProfile>>,
     /// Whether an AckWaitBegin has been emitted without its AckWaitEnd
     /// (a transfer/home-release is currently deferred behind diff acks).
     ack_wait_open: bool,
@@ -220,6 +225,7 @@ impl DsmNode {
             region_of: HashMap::new(),
             region_state: HashMap::new(),
             trace: None,
+            objprof: None,
             ack_wait_open: false,
         }
     }
@@ -242,6 +248,27 @@ impl DsmNode {
             Some(t) if !t.is_empty() => std::mem::take(t),
             _ => Vec::new(),
         }
+    }
+
+    /// Attribute a profiled event to its base gid (chunked-array region CUs
+    /// fold onto their base object). One untaken branch when profiling is
+    /// off.
+    #[inline]
+    fn prof(&mut self, gid: Gid, ev: ObjEvent) {
+        if let Some(p) = &mut self.objprof {
+            match self.region_of.get(&gid) {
+                Some(&(base, _)) if base != gid => {
+                    p.note_region(gid.0, base.0);
+                    p.bump(base.0, ev);
+                }
+                _ => p.bump(gid.0, ev),
+            }
+        }
+    }
+
+    /// Take the accumulated per-object profile (end-of-run collection).
+    pub fn take_objprof(&mut self) -> Option<ObjProfile> {
+        self.objprof.take().map(|b| *b)
     }
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
@@ -335,6 +362,7 @@ impl DsmNode {
         self.stats.promotions += 1;
         self.stats.homed_objects += 1;
         self.tr(TraceEvent::Promote { node: self.id, gid: gid.0 });
+        self.prof(gid, ObjEvent::Promote);
         gid
     }
 
@@ -537,8 +565,12 @@ impl DsmNode {
             DsmState::Valid => {
                 let gid = hdr.gid.expect("valid shared object has a gid");
                 match self.stale_region(gid, idx) {
-                    None => AccessOutcome::Hit,
+                    None => {
+                        self.prof(gid, ObjEvent::ReadHit);
+                        AccessOutcome::Hit
+                    }
                     Some(region_gid) => {
+                        self.prof(region_gid, ObjEvent::ReadMiss);
                         self.request_fetch(region_gid, thread);
                         AccessOutcome::Miss
                     }
@@ -546,6 +578,7 @@ impl DsmNode {
             }
             DsmState::Invalid => {
                 let gid = hdr.gid.expect("invalid object must be shared");
+                self.prof(gid, ObjEvent::ReadMiss);
                 self.request_fetch_idx(gid, thread, idx.map(|i| i.max(0) as u32).unwrap_or(u32::MAX));
                 AccessOutcome::Miss
             }
@@ -585,9 +618,11 @@ impl DsmNode {
             DsmState::Valid => {
                 let gid = gid.expect("valid shared object has a gid");
                 if let Some(region_gid) = self.stale_region(gid, idx) {
+                    self.prof(region_gid, ObjEvent::WriteMiss);
                     self.request_fetch(region_gid, thread);
                     return AccessOutcome::Miss;
                 }
+                self.prof(gid, ObjEvent::WriteHit);
                 // The dirtied CU: the touched region for chunked arrays,
                 // the object itself otherwise.
                 let chunked = match (self.chunks.get(&gid), idx) {
@@ -622,6 +657,7 @@ impl DsmNode {
             }
             DsmState::Invalid => {
                 let gid = gid.expect("invalid object must be shared");
+                self.prof(gid, ObjEvent::WriteMiss);
                 self.request_fetch_idx(gid, thread, idx.map(|i| i.max(0) as u32).unwrap_or(u32::MAX));
                 AccessOutcome::Miss
             }
@@ -639,6 +675,7 @@ impl DsmNode {
         if first {
             self.stats.fetches += 1;
             self.tr(TraceEvent::FetchRequest { node: self.id, gid: gid.0, thread });
+            self.prof(gid, ObjEvent::Fetch);
             let need = self.notices.requirement_of(gid);
             self.send(gid.home(), Msg::Fetch { gid, need, node: self.id, thread, want_idx });
         }
@@ -707,6 +744,7 @@ impl DsmNode {
                     ls.count = c;
                     self.stats.shared_acquires_local += 1;
                     self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
+                    self.prof(gid, ObjEvent::AcquireLocal);
                     return LockOutcome::EnteredShared;
                 }
             }
@@ -715,6 +753,7 @@ impl DsmNode {
                     ls.count += 1;
                     self.stats.shared_acquires_local += 1;
                     self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
+                    self.prof(gid, ObjEvent::AcquireLocal);
                     LockOutcome::EnteredShared
                 }
                 None if ls.granted_to.is_none() => {
@@ -722,6 +761,7 @@ impl DsmNode {
                     ls.count = 1;
                     self.stats.shared_acquires_local += 1;
                     self.tr(TraceEvent::LockAcquire { node: self.id, gid: gid.0, thread });
+                    self.prof(gid, ObjEvent::AcquireLocal);
                     LockOutcome::EnteredShared
                 }
                 _ => {
@@ -743,6 +783,7 @@ impl DsmNode {
             if ls.sent_remote_req.insert(thread) {
                 self.stats.shared_acquires_remote += 1;
                 self.tr(TraceEvent::LockRequest { node: self.id, gid: gid.0, thread });
+                self.prof(gid, ObjEvent::AcquireRemote);
                 let vc = self.my_vc();
                 self.send(gid.home(), Msg::LockReq { lock: gid, node: self.id, thread, priority, vc });
             }
@@ -832,6 +873,7 @@ impl DsmNode {
         ls.count = 0;
         self.stats.waits += 1;
         self.tr(TraceEvent::WaitPark { node: self.id, gid: gid.0, thread });
+        self.prof(gid, ObjEvent::Wait);
         self.try_grant(heap, gid);
         Ok(())
     }
@@ -846,6 +888,10 @@ impl DsmNode {
                 return Err(MonitorError("notify by non-owner"));
             }
             self.stats.notifies += 1;
+            if let Some(p) = &mut self.objprof {
+                // A never-shared object has no gid to charge.
+                p.bump_unattributed(ObjEvent::Notify);
+            }
             return Ok(());
         }
         let gid = hdr.gid.unwrap();
@@ -867,6 +913,7 @@ impl DsmNode {
         }
         self.stats.notifies += 1;
         self.tr(TraceEvent::Notify { node: self.id, gid: gid.0, thread, all });
+        self.prof(gid, ObjEvent::Notify);
         Ok(())
     }
 
@@ -946,6 +993,11 @@ impl DsmNode {
         let vc = self.my_vc();
         self.stats.grants_sent += 1;
         self.tr(TraceEvent::LockGrant { node: self.id, gid: gid.0, to_node: req.node, to_thread: req.thread });
+        if let Some(p) = &mut self.objprof {
+            // Locks live on base objects, so no region folding is needed;
+            // the edge records where the ownership chain went.
+            p.grant_edge(gid.0, req.node);
+        }
         self.send(
             req.node,
             Msg::LockGrant {
@@ -1006,6 +1058,7 @@ impl DsmNode {
             self.stats.diffs_sent += 1;
             self.stats.diff_fields += d.len() as u64;
             self.tr(TraceEvent::DiffFlush { node: self.id, gid: gid.0, entries: d.len() as u32 });
+            self.prof(gid, ObjEvent::DiffSent);
             // Map entry values to wire values (sharing referenced locals).
             let entries: Vec<(u32, WVal)> = d
                 .entries
@@ -1263,6 +1316,7 @@ impl DsmNode {
                     states[region as usize].0 = DsmState::Invalid;
                     self.stats.invalidations += 1;
                     self.tr(TraceEvent::Invalidate { node: self.id, gid: gid.0 });
+                    self.prof(gid, ObjEvent::Invalidated);
                 }
             }
             return;
@@ -1275,6 +1329,7 @@ impl DsmNode {
                 heap.get_mut(local).dsm.state = DsmState::Invalid;
                 self.stats.invalidations += 1;
                 self.tr(TraceEvent::Invalidate { node: self.id, gid: gid.0 });
+                self.prof(gid, ObjEvent::Invalidated);
             }
         }
     }
@@ -1301,6 +1356,7 @@ impl DsmNode {
         let version = home.version;
         heap.get_mut(obj).dsm.version = version;
         self.stats.diffs_applied += 1;
+        self.prof(gid, ObjEvent::DiffApplied);
         if want_ack {
             self.send(node, Msg::DiffAck { gid, version });
         }
@@ -1333,6 +1389,7 @@ impl DsmNode {
             // already has it — asserted here.)
             debug_assert_eq!(self.config.mode, ProtocolMode::ClassicHlrc, "scalar fetch must always be satisfied");
             self.stats.fetches_delayed_at_home += 1;
+            self.prof(gid, ObjEvent::FetchDelayed);
             self.homes.get_mut(&gid).unwrap().pending_fetches.push((need, node, thread));
             return;
         }

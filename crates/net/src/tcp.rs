@@ -37,7 +37,9 @@ use std::sync::mpsc::Sender;
 /// Protocol magic ("JSPL") — first field of every `Hello`.
 pub const MAGIC: u32 = 0x4A53_504C;
 /// Wire-protocol version; bumped on any envelope change.
-pub const VERSION: u16 = 1;
+/// v2: `Welcome` carries telemetry arming (`metrics_interval_us`, `flags`);
+/// `Metrics` and `Fault` envelopes added.
+pub const VERSION: u16 = 2;
 /// `Hello.node_id` value asking the coordinator to assign one.
 pub const ANY_NODE: u16 = u16::MAX;
 /// Upper bound on a single envelope body (corrupt-stream guard).
@@ -48,14 +50,32 @@ pub const MAX_ENVELOPE: usize = 256 * 1024 * 1024;
 /// into its shared-memory `NodeSlot`.
 pub type SlotWire = [u64; 5];
 
+/// `Welcome.flags` bit: arm the per-object DSM sharing profiler.
+pub const WF_OBJPROF: u8 = 1 << 0;
+/// `Welcome.flags` bit: arm the flight recorder (its tail rides the final
+/// report, and a `Fault` envelope on panic/fault).
+pub const WF_FLIGHT: u8 = 1 << 1;
+
 /// Everything that crosses a coordinator⟷worker connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Envelope {
     /// Worker → coordinator: dial-in identification.
     Hello { magic: u32, version: u16, node_id: u16, config_hash: u64 },
     /// Coordinator → worker: admission, with the run's full configuration
-    /// and the serialized (pre-rewrite) program.
-    Welcome { node_id: u16, nodes: u16, config_hash: u64, config: Vec<u8>, program: Vec<u8> },
+    /// and the serialized (pre-rewrite) program. `metrics_interval_us` > 0
+    /// asks the worker to ship `Metrics` envelopes at roughly that cadence
+    /// (0 = telemetry off); `flags` arms deployment-side observers
+    /// ([`WF_OBJPROF`], [`WF_FLIGHT`]) that are deliberately *not* part of
+    /// the hashed cluster config — they never change virtual-time results.
+    Welcome {
+        node_id: u16,
+        nodes: u16,
+        config_hash: u64,
+        metrics_interval_us: u64,
+        flags: u8,
+        config: Vec<u8>,
+        program: Vec<u8>,
+    },
     /// Coordinator → worker: handshake refused; connection closes after.
     Reject { reason: String },
     /// A transport frame (record batch) from `src`, relayed toward `dst`.
@@ -83,6 +103,15 @@ pub enum Envelope {
     /// Worker → coordinator: final per-node run report (opaque here;
     /// serialized by the runtime).
     Report { body: Vec<u8> },
+    /// Worker → coordinator: one telemetry sample — the worker's full
+    /// metrics-registry row, every cell in canonical metric order. The
+    /// coordinator merges it into its own registry so one sampler sees the
+    /// whole cluster.
+    Metrics { node: u16, cells: Vec<u64> },
+    /// Worker → coordinator: the worker hit a panic or watchdog-class fault
+    /// and is going down. `message` is the human-readable cause; `flight`
+    /// is the rendered flight-recorder tail ("" if the recorder was off).
+    Fault { node: u16, message: String, flight: String },
 }
 
 const T_HELLO: u8 = 1;
@@ -98,6 +127,8 @@ const T_DONE: u8 = 10;
 const T_FLUSHED: u8 = 11;
 const T_SHUTDOWN: u8 = 12;
 const T_REPORT: u8 = 13;
+const T_METRICS: u8 = 14;
+const T_FAULT: u8 = 15;
 
 fn put_u16(b: &mut Vec<u8>, v: u16) {
     b.extend_from_slice(&v.to_le_bytes());
@@ -160,11 +191,13 @@ pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
             put_u16(&mut b, *node_id);
             put_u64(&mut b, *config_hash);
         }
-        Envelope::Welcome { node_id, nodes, config_hash, config, program } => {
+        Envelope::Welcome { node_id, nodes, config_hash, metrics_interval_us, flags, config, program } => {
             b.push(T_WELCOME);
             put_u16(&mut b, *node_id);
             put_u16(&mut b, *nodes);
             put_u64(&mut b, *config_hash);
+            put_u64(&mut b, *metrics_interval_us);
+            b.push(*flags);
             put_u32(&mut b, config.len() as u32);
             b.extend_from_slice(config);
             put_u32(&mut b, program.len() as u32);
@@ -223,6 +256,22 @@ pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
             b.push(T_REPORT);
             b.extend_from_slice(body);
         }
+        Envelope::Metrics { node, cells } => {
+            b.push(T_METRICS);
+            put_u16(&mut b, *node);
+            put_u16(&mut b, cells.len() as u16);
+            for v in cells {
+                put_u64(&mut b, *v);
+            }
+        }
+        Envelope::Fault { node, message, flight } => {
+            b.push(T_FAULT);
+            put_u16(&mut b, *node);
+            put_u32(&mut b, message.len() as u32);
+            b.extend_from_slice(message.as_bytes());
+            put_u32(&mut b, flight.len() as u32);
+            b.extend_from_slice(flight.as_bytes());
+        }
     }
     let len = (b.len() - 4) as u32;
     b[0..4].copy_from_slice(&len.to_le_bytes());
@@ -242,11 +291,13 @@ fn decode_body(ty: u8, body: &[u8]) -> io::Result<Envelope> {
             let node_id = c.u16()?;
             let nodes = c.u16()?;
             let config_hash = c.u64()?;
+            let metrics_interval_us = c.u64()?;
+            let flags = c.u8()?;
             let clen = c.u32()? as usize;
             let config = c.take(clen)?.to_vec();
             let plen = c.u32()? as usize;
             let program = c.take(plen)?.to_vec();
-            Envelope::Welcome { node_id, nodes, config_hash, config, program }
+            Envelope::Welcome { node_id, nodes, config_hash, metrics_interval_us, flags, config, program }
         }
         T_REJECT => {
             let rlen = c.u32()? as usize;
@@ -291,6 +342,23 @@ fn decode_body(ty: u8, body: &[u8]) -> io::Result<Envelope> {
         T_FLUSHED => Envelope::Flushed,
         T_SHUTDOWN => Envelope::Shutdown,
         T_REPORT => Envelope::Report { body: c.rest().to_vec() },
+        T_METRICS => {
+            let node = c.u16()?;
+            let n = c.u16()? as usize;
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(c.u64()?);
+            }
+            Envelope::Metrics { node, cells }
+        }
+        T_FAULT => {
+            let node = c.u16()?;
+            let mlen = c.u32()? as usize;
+            let message = String::from_utf8_lossy(c.take(mlen)?).into_owned();
+            let flen = c.u32()? as usize;
+            let flight = String::from_utf8_lossy(c.take(flen)?).into_owned();
+            Envelope::Fault { node, message, flight }
+        }
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -485,6 +553,8 @@ mod tests {
                 node_id: 3,
                 nodes: 8,
                 config_hash: 77,
+                metrics_interval_us: 250_000,
+                flags: WF_OBJPROF | WF_FLIGHT,
                 config: vec![1, 2, 3],
                 program: vec![9; 300],
             },
@@ -500,6 +570,14 @@ mod tests {
             Envelope::Flushed,
             Envelope::Shutdown,
             Envelope::Report { body: vec![5; 40] },
+            Envelope::Metrics { node: 2, cells: vec![0, u64::MAX, 17, 42] },
+            Envelope::Metrics { node: 0, cells: Vec::new() },
+            Envelope::Fault {
+                node: 5,
+                message: "worker panicked: index out of bounds".into(),
+                flight: "t+1.2ms park horizon=9\nt+1.3ms unpark".into(),
+            },
+            Envelope::Fault { node: 1, message: String::new(), flight: String::new() },
         ]
     }
 
@@ -617,6 +695,10 @@ mod tests {
             ),
             proptest::collection::vec(any::<u8>(), 0..64)
                 .prop_map(|body| Envelope::Report { body }),
+            (any::<u16>(), proptest::collection::vec(any::<u64>(), 0..24))
+                .prop_map(|(node, cells)| Envelope::Metrics { node, cells }),
+            (any::<u16>(), "[ -~]{0,40}", "[ -~]{0,40}")
+                .prop_map(|(node, message, flight)| Envelope::Fault { node, message, flight }),
             Just(Envelope::Flushed),
             Just(Envelope::Shutdown),
         ]

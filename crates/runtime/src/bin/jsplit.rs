@@ -4,7 +4,7 @@
 //! jsplit run prog.mjvm [--nodes N] [--profile sun|ibm] [--baseline]
 //!        [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]
 //!        [--backend sim|threads|sockets] [--lookahead global|per_pair] [--sync epoch|async]
-//!        [--no-batch] [--trace out.json] [--stats] [--wall-profile]
+//!        [--no-batch] [--trace out.json] [--stats] [--wall-profile] [--objprof]
 //!        [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]
 //!        [--listen HOST:PORT] [--no-spawn]
 //! jsplit worker --connect HOST:PORT [--node-id N] [--connect-timeout SECS]
@@ -52,7 +52,7 @@ fn usage() -> ! {
         "usage:\n  jsplit run <prog.mjvm> [--nodes N] [--profile sun|ibm] [--baseline]\n\
          \x20          [--protocol mts|classic] [--chunk ELEMS] [--balancer least|rr|pinned]\n\
          \x20          [--backend sim|threads|sockets] [--lookahead global|per_pair] [--sync epoch|async]\n\
-         \x20          [--no-batch] [--trace out.json] [--stats] [--wall-profile]\n\
+         \x20          [--no-batch] [--trace out.json] [--stats] [--wall-profile] [--objprof]\n\
          \x20          [--metrics out.jsonl] [--metrics-interval 50ms] [--watchdog 500ms]\n\
          \x20          [--listen HOST:PORT] [--no-spawn]\n\
          \x20 jsplit worker --connect HOST:PORT [--node-id N] [--connect-timeout SECS]\n\
@@ -105,6 +105,7 @@ fn cmd_run(rest: &[String]) {
     let mut trace_path: Option<String> = None;
     let mut stats = false;
     let mut wall_profile = false;
+    let mut objprof = false;
     let mut backend = Backend::Sim;
     let mut lookahead = Lookahead::default();
     let mut sync = SyncMode::default();
@@ -170,6 +171,7 @@ fn cmd_run(rest: &[String]) {
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
             "--wall-profile" => wall_profile = true,
+            "--objprof" => objprof = true,
             "--balancer" => {
                 balancer = match it.next().map(String::as_str) {
                     Some("least") => Balancer::LeastLoaded,
@@ -219,6 +221,9 @@ fn cmd_run(rest: &[String]) {
     // Wall-clock span profiling is a threads-backend feature; `--stats`
     // there includes the stall table too (cheap: aggregates only).
     cfg.profile = wall_profile || (stats && backend == Backend::Threads);
+    // Per-object sharing profiler: works on every backend; the heat table
+    // rides the `--stats` summary.
+    cfg.objprof = objprof;
 
     let report = run_cluster(cfg, &program).unwrap_or_else(|e| {
         eprintln!("jsplit: {e}");

@@ -204,6 +204,11 @@ pub struct ClusterConfig {
     /// hooks live there) and costs a hash-map update per instruction, so
     /// off by default.
     pub opstats: bool,
+    /// Per-object DSM sharing profiler: attribute every coherence event to
+    /// its base `Gid`, classify sharing patterns, and rank home-migration
+    /// candidates into `RunReport::objprof`. Off by default; on or off,
+    /// virtual-time results are bit-identical (counts are side-band).
+    pub objprof: bool,
 }
 
 impl ClusterConfig {
@@ -230,6 +235,7 @@ impl ClusterConfig {
             sockets: SocketsConfig::default(),
             classic_interp: false,
             opstats: false,
+            objprof: false,
         }
     }
 
@@ -256,6 +262,7 @@ impl ClusterConfig {
             sockets: SocketsConfig::default(),
             classic_interp: false,
             opstats: false,
+            objprof: false,
         }
     }
 
@@ -282,6 +289,7 @@ impl ClusterConfig {
             sockets: SocketsConfig::default(),
             classic_interp: false,
             opstats: false,
+            objprof: false,
         }
     }
 
@@ -374,6 +382,12 @@ impl ClusterConfig {
     /// Enable the per-node opcode/pair frequency profiler.
     pub fn with_opstats(mut self, on: bool) -> Self {
         self.opstats = on;
+        self
+    }
+
+    /// Enable the per-object DSM sharing profiler.
+    pub fn with_objprof(mut self, on: bool) -> Self {
+        self.objprof = on;
         self
     }
 }

@@ -441,6 +441,14 @@ pub(crate) struct SyncEngine {
     /// Watchdog fault injection: sleep this many wall-clock ms before the
     /// first async iteration, pinning peers on our unpublished promise.
     pub stall_inject_ms: Option<u64>,
+    /// Cross-process telemetry pump (`None` outside the sockets backend):
+    /// ships this node's registry row toward the coordinator as a
+    /// `Metrics` envelope. Invoked from the engine thread only — so the
+    /// envelope never interleaves with the frame/control stream — at the
+    /// same points the registry is published. Rate limiting lives in the
+    /// closure, not here; `true` bypasses it (the end-of-run sample must
+    /// reach the coordinator so whole-run rates come out right).
+    pub metrics_pump: Option<Box<dyn FnMut(bool) + Send>>,
     /// Thread start instant, set by the node thread itself; `wall_ns` is
     /// measured from it independently of the span accounting.
     pub t0: Instant,
@@ -492,6 +500,7 @@ impl SyncEngine {
             metrics: None,
             flight: None,
             stall_inject_ms: None,
+            metrics_pump: None,
             t0: Instant::now(),
         }
     }
@@ -574,6 +583,14 @@ impl SyncEngine {
             reg.set(me, Metric::DsmDiffs, d.diffs_sent);
             reg.set(me, Metric::DsmInvalidations, d.invalidations);
             reg.set(me, Metric::DsmLockGrants, d.grants_sent);
+        }
+    }
+
+    /// Ship the registry row cross-process (no-op when no pump is armed).
+    #[inline]
+    fn pump_metrics(&mut self, force: bool) {
+        if let Some(f) = &mut self.metrics_pump {
+            f(force);
         }
     }
 
@@ -921,6 +938,7 @@ impl SyncEngine {
                 }
             }
             self.publish_metrics(horizon, next, next);
+            self.pump_metrics(false);
             while let Some(&Reverse((time, _, _, _, idx))) = self.events.peek() {
                 if time >= horizon {
                     break;
@@ -934,6 +952,7 @@ impl SyncEngine {
         // counters (the horizon gauge goes to ∞: the run is over, nothing
         // lags anything).
         self.publish_metrics(u64::MAX, self.queue_head(), self.queue_head());
+        self.pump_metrics(true);
         self.finish_outcome(deadlocked, aborted)
     }
 
@@ -1484,7 +1503,11 @@ impl SyncEngine {
             }
             if burst > 0 {
                 self.windows += 1;
+                self.publish_metrics(horizon, self.async_next(), self.queue_head());
             }
+            // The pump rate-limits itself, so calling it on quiet
+            // iterations too keeps samples flowing while we idle-park.
+            self.pump_metrics(false);
             self.refresh_promises_wire(&mut promised, horizon, my_base);
             // Flush *before* any state report: the report must ride the
             // stream behind every record it accounts for, or the
@@ -1515,6 +1538,9 @@ impl SyncEngine {
                 last_state = Some(st);
                 ops_at_state = self.node.ops;
             }
+            // Refresh gauges right before parking so the coordinator's
+            // watchdog judges the park against current values.
+            self.publish_metrics(horizon, self.async_next(), st.0);
             self.endpoint.wait_inbound(std::time::Duration::from_millis(1));
         }
         // Shutdown mirrors the in-process mode's two phases, with the
@@ -1524,6 +1550,10 @@ impl SyncEngine {
         self.endpoint.flush();
         peers.flush_rendezvous();
         self.drain_inbox_async(&mut chan);
+        // Closing sample with end-of-run counters (horizon → ∞: the run is
+        // over, nothing lags anything). Forced past the pump's rate limit.
+        self.publish_metrics(u64::MAX, self.async_next(), self.queue_head());
+        self.pump_metrics(true);
         self.finish_outcome(outcome == async_done::DEADLOCK, outcome == async_done::ABORT)
     }
 }

@@ -465,6 +465,12 @@ impl Cluster {
             }
             merged
         };
+        let objprof = self.config.objprof.then(|| {
+            // Slice index = node id (joiners append in id order).
+            let profiles: Vec<jsplit_trace::ObjProfile> =
+                self.nodes.iter_mut().map(|n| n.take_objprof().unwrap_or_default()).collect();
+            jsplit_trace::build_report(&profiles)
+        });
         RunReport {
             exec_time_ps: finish,
             output: self.console,
@@ -488,6 +494,7 @@ impl Cluster {
             wall: None,
             telemetry,
             opstats,
+            objprof,
         }
     }
 }

@@ -141,6 +141,11 @@ impl NodeRuntime {
                 e.dsm.trace = Some(Vec::new());
             }
         }
+        if config.objprof {
+            if let NodeEnv::Js(e) = &mut env {
+                e.dsm.objprof = Some(Box::new(jsplit_trace::ObjProfile::new()));
+            }
+        }
         // The micro-op image bakes in this node's cost model, so it is
         // per-node even though the loaded image is shared. Profiling runs
         // stay on the classic interpreter, where the counter hooks live.
@@ -216,6 +221,15 @@ impl NodeRuntime {
         match &mut self.env {
             NodeEnv::Js(e) => e.dsm.take_trace(),
             NodeEnv::Baseline(_) => Vec::new(),
+        }
+    }
+
+    /// Take this node's per-object sharing profile (`None` when the
+    /// profiler is off or in baseline mode).
+    pub fn take_objprof(&mut self) -> Option<jsplit_trace::ObjProfile> {
+        match &mut self.env {
+            NodeEnv::Js(e) => e.dsm.take_objprof(),
+            NodeEnv::Baseline(_) => None,
         }
     }
 

@@ -5,7 +5,9 @@ use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::VmError;
 use jsplit_net::NetStats;
 use jsplit_rewriter::RewriteStats;
-use jsplit_trace::{Event, LockStat, NodeBreakdown, SpanKind, TelemetrySummary, WallProfile};
+use jsplit_trace::{
+    Event, LockStat, NodeBreakdown, ObjProfReport, SpanKind, TelemetrySummary, WallProfile,
+};
 use std::fmt::Write as _;
 
 /// Synchronization-layer counters from the threads backend (all zero under
@@ -122,6 +124,13 @@ pub struct RunReport {
     ///
     /// [`ClusterConfig::with_opstats`]: crate::config::ClusterConfig::with_opstats
     pub opstats: Option<jsplit_mjvm::opstats::OpStats>,
+    /// Per-object DSM sharing report (`None` unless the run was configured
+    /// with [`ClusterConfig::with_objprof`]): every profiled object with its
+    /// sharing class, per-node event matrix, heat rank and home-migration
+    /// advice. Identical across backends for the same program.
+    ///
+    /// [`ClusterConfig::with_objprof`]: crate::config::ClusterConfig::with_objprof
+    pub objprof: Option<ObjProfReport>,
 }
 
 impl RunReport {
@@ -335,6 +344,44 @@ impl RunReport {
             );
             for stall in &t.stalls {
                 let _ = writeln!(s, "{}", crate::telemetry::render_stall(stall));
+            }
+        }
+        if let Some(op) = &self.objprof {
+            let _ = writeln!(
+                s,
+                "{:>14} {:>5} {:>17} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+                "object gid", "home", "class", "heat", "fetches", "diffs", "invals", "acq rem", "grants"
+            );
+            use jsplit_trace::ObjEvent as OE;
+            for o in op.objects.iter().take(10) {
+                let _ = writeln!(
+                    s,
+                    "{:>14} {:>5} {:>17} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+                    o.gid,
+                    o.home,
+                    o.class.name(),
+                    o.heat,
+                    o.total[OE::Fetch.index()],
+                    o.total[OE::DiffSent.index()],
+                    o.total[OE::Invalidated.index()],
+                    o.total[OE::AcquireRemote.index()],
+                    o.total[OE::Grant.index()],
+                );
+            }
+            if op.objects.len() > 10 {
+                let _ = writeln!(s, "... {} more profiled objects", op.objects.len() - 10);
+            }
+            for &i in op.candidates.iter().take(5) {
+                let o = &op.objects[i];
+                let _ = writeln!(
+                    s,
+                    "migrate gid {} home {} -> node {} (saves ~{} coherence msgs, {})",
+                    o.gid,
+                    o.home,
+                    o.advice.dominant,
+                    o.advice.score,
+                    o.class.name(),
+                );
             }
         }
         if !self.lock_stats.is_empty() {

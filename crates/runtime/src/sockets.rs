@@ -41,12 +41,23 @@
 //! the same bytes, so rewrite output, image layout and gid assignment are
 //! identical across processes without shipping any derived state.
 //!
+//! Live telemetry crosses processes: the coordinator owns the registry,
+//! sampler and watchdog, and each worker ships its own registry row as a
+//! `Metrics` envelope from its engine thread (rate-limited to the
+//! coordinator's sampling interval) — the merged NDJSON stream and
+//! [`RunReport::telemetry`] come out schema-identical to the threads
+//! backend's. The per-object sharing profiler and the flight recorder are
+//! armed the same way, via `Welcome { flags }`; a worker that panics sends
+//! a `Fault` envelope carrying the panic message and its flight-recorder
+//! tail, so the coordinator reports the real cause instead of a bare
+//! connection drop.
+//!
 //! Restrictions vs the threads backend: no mid-run joins, no tracing, no
-//! wall profiling, no live telemetry (those merge per-node in-memory
-//! buffers; over sockets they would need their own wire format). Virtual-
-//! time results — stdout, `exec_time_ps`, `NetStats`, `DsmStats` — are
-//! bit-identical to the sim and threads backends (asserted by the
-//! differential tests in `tests/sockets.rs`).
+//! wall profiling (those merge per-node in-memory buffers; over sockets
+//! they would need their own wire format). Virtual-time results — stdout,
+//! `exec_time_ps`, `NetStats`, `DsmStats` — are bit-identical to the sim
+//! and threads backends (asserted by the differential tests in
+//! `tests/sockets.rs`).
 
 use crate::balance::{Balancer, BalancerState};
 use crate::config::{Backend, ClusterConfig, Lookahead, Mode, NodeSpec, SocketsConfig, SyncMode};
@@ -55,20 +66,26 @@ use crate::engine::{async_done, EpochPeers, EpochSlot, Horizons, SyncEngine, Wir
 use crate::env::CONSOLE_NODE;
 use crate::node::NodeRuntime;
 use crate::report::{RunReport, SyncStats};
+use crate::telemetry::{Telemetry, WatchdogSpec};
 use jsplit_dsm::{DsmStats, ProtocolMode};
 use jsplit_mjvm::classfile_io::{decode_program, encode_program};
 use jsplit_mjvm::cost::JvmProfile;
 use jsplit_mjvm::heap::ThreadUid;
 use jsplit_mjvm::interp::VmError;
 use jsplit_net::codec::{CodecError, Reader, Writer};
-use jsplit_net::tcp::{self, Envelope, HandshakeExpect, SlotWire, TcpFrameLink, ANY_NODE, MAGIC, VERSION};
+use jsplit_net::tcp::{
+    self, Envelope, HandshakeExpect, SlotWire, TcpFrameLink, ANY_NODE, MAGIC, VERSION, WF_FLIGHT,
+    WF_OBJPROF,
+};
 use jsplit_net::transport::{frame_data_records, FrameStats};
 use jsplit_net::{ChannelEndpoint, Frame, NetStats, NodeId, SoloSetup};
+use jsplit_trace::{FlightRecorder, MetricsRegistry, ObjProfile, ALL_METRICS, METRICS};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -204,6 +221,9 @@ fn decode_wire_config(bytes: &[u8]) -> Result<ClusterConfig, CodecError> {
         // Per-node profiling counters have no berth in the worker report;
         // opstats runs use the sim backend.
         opstats: false,
+        // Armed via `Welcome { flags }`, not the hashed wire config — the
+        // profiler never changes virtual-time results.
+        objprof: false,
     })
 }
 
@@ -230,6 +250,11 @@ struct WorkerReport {
     net: NetStats,
     dsm: Option<DsmStats>,
     frames: FrameStats,
+    /// Rendered flight-recorder tail ("" unless `Welcome` armed it) — the
+    /// coordinator prints it when its watchdog fired during the run.
+    flight: String,
+    /// Per-object sharing profile (`None` unless `Welcome` armed it).
+    objprof: Option<ObjProfile>,
 }
 
 fn encode_vm_error(w: &mut Writer, e: &VmError) {
@@ -387,7 +412,21 @@ fn encode_worker_report(rep: &WorkerReport) -> Vec<u8> {
         .u64(rep.frames.msgs_framed)
         .u64(rep.frames.nulls_sent)
         .u64(rep.frames.nulls_piggybacked);
-    w.into_inner()
+    w.str(&rep.flight);
+    // The profile goes last: its codec is self-delimiting raw bytes, which
+    // the decoder reads straight off the remaining slice.
+    match &rep.objprof {
+        None => {
+            w.u8(0);
+            w.into_inner()
+        }
+        Some(p) => {
+            w.u8(1);
+            let mut out = w.into_inner();
+            p.encode(&mut out);
+            out
+        }
+    }
 }
 
 fn decode_worker_report(bytes: &[u8]) -> Result<WorkerReport, CodecError> {
@@ -425,6 +464,14 @@ fn decode_worker_report(bytes: &[u8]) -> Result<WorkerReport, CodecError> {
         nulls_sent: r.u64()?,
         nulls_piggybacked: r.u64()?,
     };
+    let flight = r.str()?;
+    let objprof = match r.u8()? {
+        0 => None,
+        _ => {
+            let mut pos = bytes.len() - r.remaining();
+            Some(ObjProfile::decode(bytes, &mut pos).ok_or(CodecError("bad objprof payload"))?)
+        }
+    };
     Ok(WorkerReport {
         console,
         errors,
@@ -441,6 +488,8 @@ fn decode_worker_report(bytes: &[u8]) -> Result<WorkerReport, CodecError> {
         net,
         dsm,
         frames,
+        flight,
+        objprof,
     })
 }
 
@@ -648,26 +697,95 @@ pub fn run_worker(
         },
     )
     .map_err(sock_err)?;
-    let (me, n, cfg_blob, program_bytes) = match tcp::read_envelope(&mut stream).map_err(sock_err)? {
-        Envelope::Welcome { node_id, nodes, config_hash: _, config, program } => {
-            (node_id, nodes as usize, config, program)
+    let (me, n, metrics_interval_us, flags, cfg_blob, program_bytes) =
+        match tcp::read_envelope(&mut stream).map_err(sock_err)? {
+            Envelope::Welcome {
+                node_id,
+                nodes,
+                config_hash: _,
+                metrics_interval_us,
+                flags,
+                config,
+                program,
+            } => (node_id, nodes as usize, metrics_interval_us, flags, config, program),
+            Envelope::Reject { reason } => {
+                return Err(ClusterError::Config(format!("worker: coordinator rejected handshake: {reason}")))
+            }
+            other => {
+                return Err(ClusterError::Config(format!("worker: expected Welcome, got {other:?}")))
+            }
+        };
+    // Everything past the handshake runs under catch_unwind: a panic turns
+    // into a `Fault` envelope carrying the real cause (plus the flight-
+    // recorder tail, if armed) instead of a bare connection drop at the
+    // coordinator.
+    let flight = ((flags & WF_FLIGHT) != 0).then(|| FlightRecorder::new(n));
+    if let Some(f) = &flight {
+        jsplit_trace::arm_panic_dump(f);
+    }
+    let fault_sock = stream.try_clone().map_err(sock_err)?;
+    let flight2 = flight.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_worker_body(stream, me, n, metrics_interval_us, flags, &cfg_blob, &program_bytes, flight)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            let mut s = fault_sock;
+            let _ = tcp::write_envelope(
+                &mut s,
+                &Envelope::Fault {
+                    node: me,
+                    message: message.clone(),
+                    flight: flight2.map(|f| f.render()).unwrap_or_default(),
+                },
+            );
+            Err(ClusterError::Config(format!("worker {me} panicked: {message}")))
         }
-        Envelope::Reject { reason } => {
-            return Err(ClusterError::Config(format!("worker: coordinator rejected handshake: {reason}")))
-        }
-        other => {
-            return Err(ClusterError::Config(format!("worker: expected Welcome, got {other:?}")))
-        }
-    };
-    let config = decode_wire_config(&cfg_blob)
+    }
+}
+
+/// Extract the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".into()
+    }
+}
+
+/// The post-handshake worker: deterministic bootstrap, engine run, final
+/// report. Runs under `run_worker`'s catch_unwind.
+#[allow(clippy::too_many_arguments)]
+fn run_worker_body(
+    mut stream: TcpStream,
+    me: u16,
+    n: usize,
+    metrics_interval_us: u64,
+    flags: u8,
+    cfg_blob: &[u8],
+    program_bytes: &[u8],
+    flight: Option<Arc<FlightRecorder>>,
+) -> Result<(), ClusterError> {
+    let sock_err = |e: io::Error| ClusterError::Config(format!("worker: coordinator connection failed: {e}"));
+    // Test hook for the fault path: the named worker dies right here, after
+    // the handshake, exercising the Fault envelope end to end.
+    if std::env::var("JSPLIT_TEST_WORKER_PANIC").is_ok_and(|v| v == me.to_string()) {
+        panic!("injected test panic in worker {me}");
+    }
+    let mut config = decode_wire_config(cfg_blob)
         .map_err(|e| ClusterError::Config(format!("worker {me}: bad wire config: {e}")))?;
+    config.objprof = (flags & WF_OBJPROF) != 0;
     if config.nodes.len() != n {
         return Err(ClusterError::Config(format!(
             "worker {me}: Welcome says {n} nodes but the config carries {}",
             config.nodes.len()
         )));
     }
-    let program = decode_program(&program_bytes)
+    let program = decode_program(program_bytes)
         .map_err(|e| ClusterError::Config(format!("worker {me}: bad wire program: {e:?}")))?;
     // The same deterministic preparation every process runs from the same
     // bytes: rewrite, image, class-distribution size — no derived state
@@ -759,6 +877,26 @@ pub fn run_worker(
         BalancerState::new(config.balancer),
     );
     eng.t0 = Instant::now();
+    eng.flight = flight.clone();
+    if metrics_interval_us > 0 {
+        // Local one-writer registry; the pump ships our row toward the
+        // coordinator's merged registry from the engine thread, so the
+        // envelope never interleaves with frames or control traffic.
+        let reg = MetricsRegistry::new(n);
+        eng.metrics = Some(reg.clone());
+        let mut pump_sock = stream.try_clone().map_err(sock_err)?;
+        let interval = Duration::from_micros(metrics_interval_us.max(1));
+        let mut last: Option<Instant> = None;
+        eng.metrics_pump = Some(Box::new(move |force: bool| {
+            if !force && last.is_some_and(|t| t.elapsed() < interval) {
+                return;
+            }
+            last = Some(Instant::now());
+            let cells: Vec<u64> = ALL_METRICS.iter().map(|&m| reg.get(me, m)).collect();
+            tcp::write_envelope(&mut pump_sock, &Envelope::Metrics { node: me, cells })
+                .unwrap_or_else(|e| panic!("worker {me}: coordinator connection lost: {e}"));
+        }));
+    }
     if me == CONSOLE_NODE {
         eng.bootstrap_main(main_method, main_locals);
     }
@@ -792,6 +930,8 @@ pub fn run_worker(
         net: outcome.endpoint.stats.clone(),
         dsm: outcome.node.dsm_stats(),
         frames: outcome.endpoint.frame_stats,
+        flight: flight.as_ref().map(|f| f.render()).unwrap_or_default(),
+        objprof: outcome.node.take_objprof(),
     };
     tcp::write_envelope(&mut stream, &Envelope::Report { body: encode_worker_report(&rep) })
         .map_err(sock_err)?;
@@ -825,11 +965,6 @@ impl SocketsDriver {
         if config.trace.is_some() || config.profile {
             return Err(ClusterError::Config(
                 "the sockets backend does not support tracing/profiling; use the threads backend".into(),
-            ));
-        }
-        if config.metrics.is_some() {
-            return Err(ClusterError::Config(
-                "the sockets backend does not support live telemetry; use the threads backend".into(),
             ));
         }
         if config.nodes.len() >= ANY_NODE as usize {
@@ -914,6 +1049,24 @@ impl SocketsDriver {
             .map_err(|e| ClusterError::Config(format!("sockets coordinator: set_nonblocking: {e}")))?;
         let deadline = Instant::now() + sockets.accept_timeout;
         let expect = HandshakeExpect { nodes: n as u16, config_hash: self.config_hash };
+        // Telemetry/observer arming rides the Welcome, outside the hashed
+        // wire config (deployment knobs never change virtual-time results).
+        let metrics_interval_us = self
+            .config
+            .metrics
+            .as_ref()
+            .map(|m| {
+                u64::try_from(m.interval.max(Duration::from_millis(1)).as_micros())
+                    .unwrap_or(u64::MAX)
+            })
+            .unwrap_or(0);
+        let mut wflags = 0u8;
+        if self.config.objprof {
+            wflags |= WF_OBJPROF;
+        }
+        if self.config.metrics.as_ref().is_some_and(|m| m.flight) {
+            wflags |= WF_FLIGHT;
+        }
         let mut claimed = vec![false; n];
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         let mut rejections: Vec<String> = Vec::new();
@@ -933,6 +1086,8 @@ impl SocketsDriver {
                                         node_id: id,
                                         nodes: n as u16,
                                         config_hash: self.config_hash,
+                                        metrics_interval_us,
+                                        flags: wflags,
                                         config: self.cfg_blob.clone(),
                                         program: self.program_bytes.clone(),
                                     },
@@ -990,6 +1145,26 @@ impl SocketsDriver {
         drop(listener);
         let mut streams: Vec<TcpStream> = streams.into_iter().map(|s| s.expect("claimed")).collect();
 
+        // Coordinator-owned telemetry: the registry the workers' `Metrics`
+        // envelopes merge into, sampled and watchdogged exactly like the
+        // threads backend samples its shared-memory registry — so the
+        // NDJSON stream and the end-of-run summary are schema-identical.
+        let metrics_cfg = self.config.metrics.clone();
+        let registry = metrics_cfg.as_ref().map(|_| MetricsRegistry::new(n));
+        let mut telemetry = metrics_cfg.as_ref().and_then(|cfg| {
+            let wd = cfg.watchdog_budget.map(|d| WatchdogSpec {
+                budget_ms: (d.as_millis() as u64).max(1),
+                base_ps: self.config.nodes.iter().map(|s| driver::link_params(*s).base_ps()).collect(),
+            });
+            match Telemetry::start(cfg, registry.clone().expect("registry"), None, wd) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("metrics: cannot open {:?}: {e}; sampling disabled", cfg.out);
+                    None
+                }
+            }
+        });
+
         // One reader thread per worker feeds a single sequencing queue;
         // this main thread does every write. Per-producer mpsc FIFO is the
         // ordering backbone: a worker's Data is dequeued before its
@@ -1034,11 +1209,17 @@ impl SocketsDriver {
             let (from, env) = rx
                 .recv()
                 .map_err(|_| ClusterError::Config("sockets coordinator: all worker connections lost".into()))?;
-            let env = env.map_err(|e| {
-                ClusterError::Config(format!(
-                    "sockets coordinator: worker {from} disconnected before reporting: {e}"
-                ))
-            })?;
+            let env = match env {
+                Ok(env) => env,
+                Err(e) => {
+                    if let Some(t) = telemetry.take() {
+                        t.finish();
+                    }
+                    return Err(ClusterError::Config(format!(
+                        "sockets coordinator: worker {from} disconnected before reporting: {e}"
+                    )));
+                }
+            };
             match env {
                 Envelope::Data { src, dst, frame } => {
                     let d = dst as usize;
@@ -1100,6 +1281,28 @@ impl SocketsDriver {
                     report_blobs[from as usize] = Some(body);
                     reports_in += 1;
                 }
+                Envelope::Metrics { node: _, cells } => {
+                    // Merge the worker's registry row (trust `from`, the
+                    // authenticated stream, over the claimed node id). A
+                    // mismatched cell count is a version skew the handshake
+                    // should have caught — drop the sample, not the run.
+                    if let Some(reg) = &registry {
+                        if cells.len() == METRICS {
+                            for (m, v) in ALL_METRICS.iter().zip(cells) {
+                                reg.set(from, *m, v);
+                            }
+                        }
+                    }
+                }
+                Envelope::Fault { node, message, flight } => {
+                    if !flight.is_empty() {
+                        eprintln!("jsplit sockets: worker {node} flight recorder:\n{flight}");
+                    }
+                    if let Some(t) = telemetry.take() {
+                        t.finish();
+                    }
+                    return Err(ClusterError::Config(format!("worker {node} panicked: {message}")));
+                }
                 other => {
                     return Err(ClusterError::Config(format!(
                         "sockets coordinator: unexpected {other:?} from worker {from}"
@@ -1126,6 +1329,10 @@ impl SocketsDriver {
         }
         children.clear();
 
+        // Stop the sampler (it takes one closing sample of the merged
+        // registry) and fold the time series into the report.
+        let telemetry_summary = telemetry.take().map(Telemetry::finish);
+
         let reports: Vec<WorkerReport> = report_blobs
             .into_iter()
             .enumerate()
@@ -1134,13 +1341,27 @@ impl SocketsDriver {
                     .map_err(|e| ClusterError::Config(format!("sockets coordinator: bad report from worker {i}: {e}")))
             })
             .collect::<Result<_, _>>()?;
-        Ok(self.assemble(started, reports))
+        // The watchdog fired during the run: relay each worker's flight-
+        // recorder tail (the coordinator has no local one to dump).
+        if telemetry_summary.as_ref().is_some_and(|t| !t.stalls.is_empty()) {
+            for (i, r) in reports.iter().enumerate() {
+                if !r.flight.is_empty() {
+                    eprintln!("jsplit sockets: worker {i} flight recorder:\n{}", r.flight);
+                }
+            }
+        }
+        Ok(self.assemble(started, reports, telemetry_summary))
     }
 
     /// Fold the per-worker reports into the same [`RunReport`] shape the
-    /// sim and threads drivers produce (minus trace/profile/telemetry,
-    /// which the sockets backend rejects at construction).
-    fn assemble(self, started: Instant, mut reports: Vec<WorkerReport>) -> RunReport {
+    /// sim and threads drivers produce (minus trace/profile, which the
+    /// sockets backend rejects at construction).
+    fn assemble(
+        self,
+        started: Instant,
+        mut reports: Vec<WorkerReport>,
+        telemetry: Option<jsplit_trace::TelemetrySummary>,
+    ) -> RunReport {
         let mut errors: Vec<(ThreadUid, VmError)> = Vec::new();
         let mut console = Vec::new();
         for (i, r) in reports.iter_mut().enumerate() {
@@ -1149,6 +1370,12 @@ impl SocketsDriver {
                 console = std::mem::take(&mut r.console);
             }
         }
+        let objprof = self.config.objprof.then(|| {
+            // Slice index = node id (reports are in node order).
+            let profiles: Vec<ObjProfile> =
+                reports.iter_mut().map(|r| r.objprof.take().unwrap_or_default()).collect();
+            jsplit_trace::build_report(&profiles)
+        });
         let sync = SyncStats {
             windows: match self.config.sync {
                 SyncMode::Epoch => reports[0].windows,
@@ -1183,8 +1410,9 @@ impl SocketsDriver {
             host_wall_secs: started.elapsed().as_secs_f64(),
             sync,
             wall: None,
-            telemetry: None,
+            telemetry,
             opstats: None,
+            objprof,
         }
     }
 }
@@ -1245,6 +1473,8 @@ mod tests {
         assert_eq!(got.wire_batch, cfg.wire_batch);
         assert_eq!(got.backend, Backend::Sockets);
         assert!(got.trace.is_none() && !got.profile && got.metrics.is_none());
+        // Deployment-side observers stay out of the hashed wire config.
+        assert!(!got.objprof);
     }
 
     #[test]
@@ -1286,11 +1516,27 @@ mod tests {
                 nulls_sent: 4,
                 nulls_piggybacked: 2,
             },
+            flight: "t+0.1ms decide outcome=1".into(),
+            objprof: Some({
+                let mut p = ObjProfile::new();
+                p.bump(0x0100_0000_0042, jsplit_trace::ObjEvent::Fetch);
+                p.grant_edge(0x0100_0000_0042, 3);
+                p.note_region(0x0100_0000_0043, 0x0100_0000_0042);
+                p.bump_unattributed(jsplit_trace::ObjEvent::Notify);
+                p
+            }),
         };
         let got = decode_worker_report(&encode_worker_report(&rep)).unwrap();
         assert_eq!(got, rep);
-        // The dsm-less (baseline) shape too.
-        let rep2 = WorkerReport { dsm: None, console: Vec::new(), errors: Vec::new(), ..rep };
+        // The dsm-less, observer-less (baseline) shape too.
+        let rep2 = WorkerReport {
+            dsm: None,
+            console: Vec::new(),
+            errors: Vec::new(),
+            flight: String::new(),
+            objprof: None,
+            ..rep
+        };
         let got2 = decode_worker_report(&encode_worker_report(&rep2)).unwrap();
         assert_eq!(got2, rep2);
     }

@@ -402,6 +402,14 @@ impl ThreadsDriver {
         } else {
             None
         };
+        let objprof = self.config.objprof.then(|| {
+            // Outcomes are sorted by node id above, so slice index = id.
+            let profiles: Vec<jsplit_trace::ObjProfile> = outcomes
+                .iter_mut()
+                .map(|o| o.node.take_objprof().unwrap_or_default())
+                .collect();
+            jsplit_trace::build_report(&profiles)
+        });
         RunReport {
             exec_time_ps: finish,
             output: console,
@@ -425,6 +433,7 @@ impl ThreadsDriver {
             wall,
             telemetry: telemetry_summary,
             opstats: None,
+            objprof,
         }
     }
 }

@@ -33,12 +33,13 @@ mod hist;
 mod json;
 mod locks;
 mod metrics;
+mod objprof;
 mod sink;
 mod wall;
 
 pub use breakdown::{node_breakdown, NodeBreakdown};
 pub use canonical::canonicalize;
-pub use chrome::{chrome_trace, chrome_trace_unified, count_exported};
+pub use chrome::{chrome_trace, chrome_trace_report, chrome_trace_unified, count_exported, ObjLanes};
 pub use event::{BlockReason, Event, NetKind, NodeId, Ps, ThreadUid, TraceEvent, TraceMode};
 pub use flight::{
     arm_panic_dump, disarm_panic_dump, FlightEntry, FlightRecorder, FlightTag, FLIGHT_RING,
@@ -48,6 +49,10 @@ pub use metrics::{
     Metric, MetricKind, MetricsRegistry, StallReport, TelemetrySummary, ALL_METRICS, METRICS,
 };
 pub use json::validate_json;
+pub use objprof::{
+    advise, build_report, classify, heat_of, home_of, Advice, ObjEvent, ObjProfReport, ObjProfile,
+    ObjReport, SharingClass, ALL_CLASSES, ALL_OBJ_EVENTS, OBJ_KINDS, STATS_MAPPED,
+};
 pub use locks::{lock_contention, LockStat};
 pub use sink::{make_sink, RingRecorder, TraceSink, VecRecorder};
 pub use wall::{
